@@ -1,0 +1,383 @@
+package gdsx
+
+// Ablation tests for the design choices DESIGN.md calls out: the §3.4
+// overhead optimizations (span DSE, base hoisting), the bonded vs
+// interleaved layouts, the conservative DOACROSS sync placement, and
+// the relaxed Definition 5 classification the paper mentions after the
+// definition.
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/ddg"
+	"gdsx/internal/expand"
+	"gdsx/internal/schedule"
+)
+
+func transformWith(t *testing.T, src string, opts expand.Options) (*TransformResult, Result) {
+	t.Helper()
+	prog, err := Compile("abl.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tr, err := Transform(prog, TransformOptions{Expand: &opts})
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	res, err := RunSource("abl-x.c", tr.Source, RunOptions{Threads: 1, Trace: true})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, tr.Source)
+	}
+	return tr, res
+}
+
+func TestAblationSpanDSE(t *testing.T) {
+	// A pointer walk (p = p + 1) inside the loop: without DSE every
+	// step stores a redundant span.
+	src := `
+int main() {
+    int m = 32;
+    int *buf = (int*)malloc(m * 4);
+    int sz = m * 4 + nextJunk();
+    int *out = (int*)malloc(8 * 4);
+    int it;
+    parallel for (it = 0; it < 8; it++) {
+        int *p = buf;
+        int k;
+        for (k = 0; k < m; k++) {
+            *p = it + k;
+            p = p + 1;
+        }
+        int s = 0;
+        for (k = 0; k < m; k++) {
+            s += buf[k];
+        }
+        out[it] = s;
+    }
+    long total = 0;
+    for (it = 0; it < 8; it++) { total += out[it]; }
+    print_long(total);
+    free(buf);
+    free(out);
+    return 0;
+}
+int nextJunk() { return 0; }
+`
+	// Make the buffer size non-constant so the pointer is promoted in
+	// both configurations (the source above achieves this via
+	// nextJunk, which the constant folder cannot see through)...
+	src = strings.Replace(src, "malloc(m * 4)", "malloc(sz0())", 1)
+	src = "int sz0() { return 128; }\n" + src
+
+	opt := expand.Optimized()
+	unopt := expand.Unoptimized()
+	trOpt, _ := transformWith(t, src, opt)
+	trUn, _ := transformWith(t, src, unopt)
+	ro, ru := trOpt.Reports[0], trUn.Reports[0]
+	if ro.SpanStoresElided == 0 {
+		t.Errorf("optimized pass elided no span stores: %+v", ro)
+	}
+	if ru.SpanStores <= ro.SpanStores {
+		t.Errorf("unoptimized should emit more span stores: %d vs %d",
+			ru.SpanStores, ro.SpanStores)
+	}
+	if !strings.Contains(trUn.Source, ".span = p.span") &&
+		!strings.Contains(trUn.Source, "p.span = p.span") {
+		t.Errorf("unoptimized source lacks the redundant self span store:\n%s", trUn.Source)
+	}
+}
+
+func TestAblationHoisting(t *testing.T) {
+	hoisted := expand.Optimized()
+	flat := expand.Optimized()
+	flat.HoistBases = false
+	trH, resH := transformWith(t, zptrSrc, hoisted)
+	trF, resF := transformWith(t, zptrSrc, flat)
+	if !strings.Contains(trH.Source, "__base") {
+		t.Fatalf("hoisted source has no base temporaries:\n%s", trH.Source)
+	}
+	if strings.Contains(trF.Source, "__base") {
+		t.Fatalf("non-hoisted source unexpectedly hoists")
+	}
+	if resH.Counters[0] >= resF.Counters[0] {
+		t.Errorf("hoisting should reduce ops: %d vs %d", resH.Counters[0], resF.Counters[0])
+	}
+	if resH.Output != resF.Output {
+		t.Errorf("outputs diverge between hoisted and flat")
+	}
+}
+
+func TestAblationConservativeSync(t *testing.T) {
+	tight := expand.Optimized()
+	coarse := expand.Optimized()
+	coarse.ConservativeSync = true
+	_, resT := transformWith(t, doacrossSrc, tight)
+	trC, resC := transformWith(t, doacrossSrc, coarse)
+	if resT.Output != resC.Output {
+		t.Fatalf("outputs diverge")
+	}
+	if !strings.Contains(trC.Source, "__sync_wait") {
+		t.Fatalf("conservative sync missing markers")
+	}
+	model := schedule.DefaultModel()
+	timeAt := func(res Result, n int) int64 {
+		var total int64
+		for _, tr := range res.Traces {
+			total += schedule.Simulate(tr, n, model).Time
+		}
+		return total
+	}
+	// Coarse placement serializes the whole body: at 8 threads it must
+	// be substantially slower than the minimal placement.
+	tT, tC := timeAt(resT, 8), timeAt(resC, 8)
+	if tC < tT*3/2 {
+		t.Errorf("conservative sync should serialize: tight=%d coarse=%d", tT, tC)
+	}
+}
+
+func TestAblationRelaxedClassification(t *testing.T) {
+	// A buffer written before read in every iteration but never
+	// involved in a carried anti/output dependence (allocated fresh
+	// per... rather: only read from outside once): under strict
+	// Definition 5 condition 3 it stays shared; relaxed, it expands.
+	src := `
+int main() {
+    int *out = (int*)malloc(6 * 4);
+    int scratch[8];
+    int it;
+    parallel for (it = 0; it < 6; it++) {
+        int k;
+        for (k = 0; k < 8; k++) {
+            scratch[k] = it + k;
+        }
+        out[it] = scratch[0] + scratch[7];
+    }
+    long s = 0;
+    for (it = 0; it < 6; it++) { s += out[it]; }
+    print_long(s);
+    free(out);
+    return 0;
+}
+`
+	strict := ddg.DefaultOptions()
+	relaxed := ddg.Options{RequireCarriedAntiOrOutput: false}
+	prog, err := Compile("rlx.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trS, err := Transform(prog, TransformOptions{Classify: &strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trR, err := Transform(prog, TransformOptions{Classify: &relaxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scratch has carried anti/output deps (reused every iteration), so
+	// both expand it; the relaxed variant additionally privatizes
+	// write-first accesses without carried deps — it can only expand
+	// more, never less.
+	if trR.Reports[0].Structures < trS.Reports[0].Structures {
+		t.Errorf("relaxed classification expanded less: %d vs %d",
+			trR.Reports[0].Structures, trS.Reports[0].Structures)
+	}
+	for _, n := range []int{1, 8} {
+		a, err := RunSource("s.c", trS.Source, RunOptions{Threads: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunSource("r.c", trR.Source, RunOptions{Threads: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Output != b.Output {
+			t.Fatalf("N=%d: outputs differ", n)
+		}
+	}
+}
+
+// The §6 adaptive scheme: interleave when the structures allow it,
+// bond when they do not (the recast case), always preserving output.
+func TestAblationAdaptiveLayout(t *testing.T) {
+	adaptive := expand.Optimized()
+	adaptive.Layout = expand.Adaptive
+
+	// Recast program: must fall back to bonded.
+	prog, err := Compile("recast.c", recastSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := prog.Run(RunOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Transform(prog, TransformOptions{Expand: &adaptive})
+	if err != nil {
+		t.Fatalf("adaptive on recast: %v", err)
+	}
+	if tr.Reports[0].LayoutUsed != expand.Bonded {
+		t.Fatalf("recast buffer should select bonded, got %v", tr.Reports[0].LayoutUsed)
+	}
+	res, err := RunSource("recast-a.c", tr.Source, RunOptions{Threads: 4})
+	if err != nil || res.Output != native.Output {
+		t.Fatalf("adaptive bonded run: %v %q vs %q", err, res.Output, native.Output)
+	}
+
+	// Interleavable program: must select interleaved.
+	prog2, err := Compile("il.c", interleavableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native2, err := prog2.Run(RunOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Transform(prog2, TransformOptions{Expand: &adaptive})
+	if err != nil {
+		t.Fatalf("adaptive on interleavable: %v", err)
+	}
+	if tr2.Reports[0].LayoutUsed != expand.Interleaved {
+		t.Fatalf("interleavable buffer should select interleaved, got %v", tr2.Reports[0].LayoutUsed)
+	}
+	res2, err := RunSource("il-a.c", tr2.Source, RunOptions{Threads: 4})
+	if err != nil || res2.Output != native2.Output {
+		t.Fatalf("adaptive interleaved run: %v %q vs %q", err, res2.Output, native2.Output)
+	}
+}
+
+// interleavableSrc uses a single-typed heap buffer accessed only
+// inside the loop: the interleaved layout supports it.
+const interleavableSrc = `
+int main() {
+    int *buf = (int*)malloc(24 * 4);
+    int *out = (int*)malloc(6 * 4);
+    int it;
+    parallel for (it = 0; it < 6; it++) {
+        int k;
+        for (k = 0; k < 24; k++) {
+            buf[k] = it * k;
+        }
+        int s = 0;
+        for (k = 0; k < 24; k++) {
+            s += buf[k];
+        }
+        out[it] = s;
+    }
+    long total = 0;
+    for (it = 0; it < 6; it++) { total += out[it]; }
+    print_long(total);
+    free(buf);
+    free(out);
+    return 0;
+}
+`
+
+func TestAblationInterleavedLayout(t *testing.T) {
+	// A single-typed heap buffer accessed only inside the loop: the
+	// interleaved layout supports it and must produce the same output.
+	src := `
+int main() {
+    int *buf = (int*)malloc(24 * 4);
+    int *out = (int*)malloc(6 * 4);
+    int it;
+    parallel for (it = 0; it < 6; it++) {
+        int k;
+        for (k = 0; k < 24; k++) {
+            buf[k] = it * k;
+        }
+        int s = 0;
+        for (k = 0; k < 24; k++) {
+            s += buf[k];
+        }
+        out[it] = s;
+    }
+    long total = 0;
+    for (it = 0; it < 6; it++) { total += out[it]; }
+    print_long(total);
+    free(buf);
+    free(out);
+    return 0;
+}
+`
+	prog, err := Compile("il.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := prog.Run(RunOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := expand.Optimized()
+	inter.Layout = expand.Interleaved
+	tr, err := Transform(prog, TransformOptions{Expand: &inter})
+	if err != nil {
+		t.Fatalf("interleaved transform: %v", err)
+	}
+	if !strings.Contains(tr.Source, "* __nthreads + __tid") &&
+		!strings.Contains(tr.Source, "* __nthreads]") {
+		t.Fatalf("no interleaved indexing in:\n%s", tr.Source)
+	}
+	for _, n := range []int{1, 2, 8} {
+		res, err := RunSource("il-x.c", tr.Source, RunOptions{Threads: n})
+		if err != nil {
+			t.Fatalf("N=%d: %v\n%s", n, err, tr.Source)
+		}
+		if res.Output != native.Output {
+			t.Fatalf("N=%d: %q != %q\n%s", n, res.Output, native.Output, tr.Source)
+		}
+	}
+}
+
+// Adaptive layout composes with pointer promotion: a runtime-sized
+// buffer (promoted, spans tracked) that is still interleavable must
+// come out correct under the interleaved choice.
+func TestAblationAdaptiveWithPromotion(t *testing.T) {
+	src := `
+int dyn() { return 16; }
+int main() {
+    int m = dyn();
+    int *buf = (int*)malloc(m * 4);
+    int *out = (int*)malloc(10 * 4);
+    int i;
+    parallel for (i = 0; i < 10; i++) {
+        int k;
+        for (k = 0; k < m; k++) { buf[k] = i + k; }
+        int s = 0;
+        for (k = 0; k < m; k++) { s += buf[k]; }
+        out[i] = s;
+    }
+    long total = 0;
+    for (i = 0; i < 10; i++) { total += out[i]; }
+    print_long(total);
+    free(buf);
+    free(out);
+    return 0;
+}`
+	adaptive := expand.Optimized()
+	adaptive.Layout = expand.Adaptive
+	prog, err := Compile("ap.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := prog.Run(RunOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Transform(prog, TransformOptions{Expand: &adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Reports[0].LayoutUsed != expand.Interleaved {
+		t.Fatalf("layout = %v, want interleaved", tr.Reports[0].LayoutUsed)
+	}
+	if len(tr.Reports[0].Promoted) == 0 {
+		t.Fatalf("expected promotion alongside interleaving")
+	}
+	for _, n := range []int{1, 4, 8} {
+		res, err := RunSource("ap-x.c", tr.Source, RunOptions{Threads: n})
+		if err != nil || res.Output != native.Output {
+			t.Fatalf("N=%d: %v %q vs %q\n%s", n, err, res.Output, native.Output, tr.Source)
+		}
+	}
+}

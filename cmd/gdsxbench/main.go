@@ -1,0 +1,106 @@
+// Command gdsxbench regenerates every table and figure of the paper's
+// evaluation section (§4) over the eight workload programs and prints
+// them as text tables. Results are deterministic: timing comes from
+// the schedule simulator's operation counts, memory from the simulated
+// allocator.
+//
+// Usage:
+//
+//	gdsxbench [-scale test|profile|bench] [-exp all|table4|table5|fig8|...|fig14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gdsx/internal/bench"
+	"gdsx/internal/workloads"
+)
+
+func main() {
+	scale := flag.String("scale", "bench", "input scale: test, profile or bench")
+	exp := flag.String("exp", "all", "experiment: all, table4, table5, fig8..fig14")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	switch *scale {
+	case "test":
+		cfg.Scale = workloads.Test
+	case "profile":
+		cfg.Scale = workloads.ProfileScale
+	case "bench":
+		cfg.Scale = workloads.BenchScale
+	default:
+		fmt.Fprintln(os.Stderr, "gdsxbench: unknown scale", *scale)
+		os.Exit(2)
+	}
+	h := bench.New(cfg)
+	start := time.Now()
+
+	if *exp == "all" {
+		rep, err := h.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		fmt.Fprintf(os.Stderr, "\n(all experiments regenerated in %v at %s scale)\n",
+			time.Since(start).Round(time.Millisecond), *scale)
+		return
+	}
+
+	rep := &bench.Report{Threads: h.Threads()}
+	var err error
+	switch *exp {
+	case "table4":
+		rep.Table4, err = h.Table4()
+	case "table5":
+		rep.Table5, err = h.Table5()
+	case "fig8":
+		rep.Fig8, err = h.Figure8()
+	case "fig9":
+		rep.Fig9, rep.Fig9HMUn, rep.Fig9HMOp, err = h.Figure9()
+	case "fig10":
+		rep.Fig10, err = h.Figure10()
+	case "fig11":
+		rep.Fig11, rep.Fig11HM, err = h.Figure11()
+	case "fig12":
+		rep.Fig12, err = h.Figure12()
+	case "fig13":
+		rep.Fig13, err = h.Figure13()
+	case "fig14":
+		rep.Fig14, err = h.Figure14()
+	case "ablation":
+		var sync []bench.AblationSyncRow
+		var hoist []bench.AblationHoistRow
+		var layout []bench.AblationLayoutRow
+		var chunk []bench.AblationChunkRow
+		if sync, err = h.AblationSync(); err == nil {
+			if hoist, err = h.AblationHoist(); err == nil {
+				if layout, err = h.AblationLayout(); err == nil {
+					chunk, err = h.AblationChunk()
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderAblations(sync, hoist))
+		fmt.Print(bench.RenderLayoutAblation(layout))
+		fmt.Print(bench.RenderChunkAblation(chunk))
+		fmt.Fprintf(os.Stderr, "\n(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+		return
+	default:
+		fmt.Fprintln(os.Stderr, "gdsxbench: unknown experiment", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.RenderPartial())
+	fmt.Fprintf(os.Stderr, "\n(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,164 @@
+package gdsx
+
+// The expansion pass's documented restrictions must fail loudly with
+// actionable diagnostics, never silently miscompile.
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/expand"
+)
+
+func transformErr(t *testing.T, src string, opts *expand.Options) error {
+	t.Helper()
+	prog, err := Compile("err.c", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	_, err = Transform(prog, TransformOptions{Expand: opts})
+	return err
+}
+
+func TestErrorExpandParameterStorage(t *testing.T) {
+	// The address of a parameter escapes into the loop and is written
+	// privately: parameters' own storage cannot be expanded.
+	err := transformErr(t, `
+int work(int seed) {
+    int *p = &seed;
+    int *out = (int*)malloc(8 * 4);
+    int it;
+    parallel for (it = 0; it < 8; it++) {
+        *p = it;
+        out[it] = *p + 1;
+    }
+    int s = out[0];
+    free(out);
+    return s;
+}
+int main() { return work(3); }`, nil)
+	if err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorReallocExpanded(t *testing.T) {
+	err := transformErr(t, `
+int main() {
+    int *buf = (int*)malloc(64);
+    buf = (int*)realloc(buf, 128);
+    int *out = (int*)malloc(8 * 4);
+    int it;
+    parallel for (it = 0; it < 8; it++) {
+        int k;
+        for (k = 0; k < 16; k++) { buf[k] = it + k; }
+        out[it] = buf[0] + buf[15];
+    }
+    long s = 0;
+    for (it = 0; it < 8; it++) { s += out[it]; }
+    print_long(s);
+    free(buf);
+    free(out);
+    return 0;
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "realloc") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorMultiDimGlobalExpansion(t *testing.T) {
+	err := transformErr(t, `
+int grid[8][8];
+int main() {
+    int *out = (int*)malloc(6 * 4);
+    int it;
+    parallel for (it = 0; it < 6; it++) {
+        int k;
+        for (k = 0; k < 8; k++) { grid[k][k] = it + k; }
+        out[it] = grid[0][0] + grid[7][7];
+    }
+    long s = 0;
+    for (it = 0; it < 6; it++) { s += out[it]; }
+    print_long(s);
+    free(out);
+    return 0;
+}`, nil)
+	if err == nil || !strings.Contains(err.Error(), "multi-dimensional") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrorAddressOfPromotedPointer(t *testing.T) {
+	// &p where p must become a fat pointer would require double-level
+	// promotion; the pass rejects it.
+	err := transformErr(t, `
+int dyn() { return 16; }
+int main() {
+    int n = dyn();
+    int *buf = (int*)malloc(n * 4);
+    int **pp = &buf;
+    int *out = (int*)malloc(4 * 4);
+    int it;
+    parallel for (it = 0; it < 4; it++) {
+        int k;
+        for (k = 0; k < n; k++) { (*pp)[k] = it + k; }
+        out[it] = buf[0];
+    }
+    long s = 0;
+    for (it = 0; it < 4; it++) { s += out[it]; }
+    print_long(s);
+    free(buf);
+    free(out);
+    return 0;
+}`, nil)
+	if err == nil {
+		t.Fatalf("expected a diagnostic for &promoted-pointer, got success")
+	}
+}
+
+func TestErrorInterleavedNonHeap(t *testing.T) {
+	opts := expand.Optimized()
+	opts.Layout = expand.Interleaved
+	err := transformErr(t, `
+int scratch[16];
+int main() {
+    int *out = (int*)malloc(4 * 4);
+    int it;
+    parallel for (it = 0; it < 4; it++) {
+        int k;
+        for (k = 0; k < 16; k++) { scratch[k] = it + k; }
+        out[it] = scratch[0];
+    }
+    long s = 0;
+    for (it = 0; it < 4; it++) { s += out[it]; }
+    print_long(s);
+    free(out);
+    return 0;
+}`, &opts)
+	if err == nil || !strings.Contains(err.Error(), "heap structures only") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	o := expand.Optimized()
+	if !o.AliasFilter || !o.ConstSpan || !o.SpanDSE || !o.HoistBases {
+		t.Fatalf("Optimized() = %+v", o)
+	}
+	u := expand.Unoptimized()
+	if u.AliasFilter || u.ConstSpan || u.SpanDSE || u.HoistBases {
+		t.Fatalf("Unoptimized() = %+v", u)
+	}
+	if o.Layout != expand.Bonded || u.Layout != expand.Bonded {
+		t.Fatalf("default layout must be bonded")
+	}
+	for l, want := range map[expand.Layout]string{
+		expand.Bonded:      "bonded",
+		expand.Interleaved: "interleaved",
+		expand.Adaptive:    "adaptive",
+	} {
+		if l.String() != want {
+			t.Errorf("Layout(%d).String() = %q", l, l.String())
+		}
+	}
+}

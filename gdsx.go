@@ -1,0 +1,145 @@
+// Package gdsx is a reproduction of "General Data Structure Expansion
+// for Multi-threading" (Yu, Ko, Li — PLDI 2013). It compiles MiniC
+// programs (a C subset), profiles loop-level data dependences, expands
+// contentious data structures so each simulated thread works on its own
+// copy, and executes the transformed program with real parallelism over
+// a simulated shared memory.
+//
+// Typical use:
+//
+//	prog, err := gdsx.Compile("dijkstra.c", src)
+//	res, err := gdsx.Transform(prog, gdsx.TransformOptions{})
+//	out, err := gdsx.RunSource("dijkstra-par.c", res.Source, gdsx.RunOptions{Threads: 8})
+package gdsx
+
+import (
+	"fmt"
+	"sort"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ddg"
+	"gdsx/internal/interp"
+	"gdsx/internal/parser"
+	"gdsx/internal/profile"
+	"gdsx/internal/sema"
+)
+
+// Program is a compiled (parsed and checked) MiniC program.
+type Program struct {
+	File   string
+	Source string
+	AST    *ast.Program
+	Info   *sema.Info
+}
+
+// Compile parses and semantically checks a MiniC source file.
+func Compile(file, src string) (*Program, error) {
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{File: file, Source: src, AST: prog, Info: info}, nil
+}
+
+// ParallelLoops returns the IDs of the program's parallel-annotated
+// loops in ascending order.
+func (p *Program) ParallelLoops() []int {
+	var ids []int
+	for id, l := range p.Info.Loops {
+		if l.Par != ast.Sequential {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Print renders the (possibly transformed) program back to MiniC.
+func (p *Program) Print() string { return ast.Print(p.AST) }
+
+// RunOptions configure program execution.
+type RunOptions struct {
+	// Threads is the simulated thread count N (default 1).
+	Threads int
+	// MemSize is the simulated memory capacity (default 64 MiB).
+	MemSize int64
+	// StackSize is the per-thread stack size (default 1 MiB).
+	StackSize int64
+	// ForceSequential executes parallel loops on the main thread (used
+	// to measure single-core overhead of transformed code).
+	ForceSequential bool
+	// Trace executes parallel loops sequentially while recording the
+	// per-iteration cost traces consumed by the schedule simulator.
+	Trace bool
+	// MaxOps aborts the run after this many operations (0 = unlimited).
+	MaxOps int64
+	// Hooks intercept execution (profiling, runtime privatization).
+	Hooks *interp.Hooks
+}
+
+// Result re-exports the interpreter's run result.
+type Result = interp.Result
+
+func (o RunOptions) interpOptions() interp.Options {
+	return interp.Options{
+		NumThreads:      o.Threads,
+		MemSize:         o.MemSize,
+		StackSize:       o.StackSize,
+		ForceSequential: o.ForceSequential,
+		TraceParallel:   o.Trace,
+		MaxOps:          o.MaxOps,
+		Hooks:           o.Hooks,
+	}
+}
+
+// Run executes the program.
+func (p *Program) Run(opts RunOptions) (Result, error) {
+	m := interp.New(p.AST, p.Info, opts.interpOptions())
+	return m.Run()
+}
+
+// NewMachine returns a configured interpreter for the program, for
+// callers that need access to the simulated memory (e.g. the runtime-
+// privatization baseline).
+func (p *Program) NewMachine(opts RunOptions) *interp.Machine {
+	return interp.New(p.AST, p.Info, opts.interpOptions())
+}
+
+// RunSource compiles and runs a MiniC source in one step.
+func RunSource(file, src string, opts RunOptions) (Result, error) {
+	prog, err := Compile(file, src)
+	if err != nil {
+		return Result{}, err
+	}
+	return prog.Run(opts)
+}
+
+// ProfileLoop runs the program sequentially and returns the loop-level
+// data dependence graph of the given loop plus the dynamic origins each
+// access touched.
+func (p *Program) ProfileLoop(loopID int, opts RunOptions) (*profile.Result, error) {
+	return profile.Loop(p.AST, p.Info, loopID, opts.interpOptions())
+}
+
+// ClassifyLoop profiles a loop and classifies its accesses per the
+// paper's Definition 5.
+func (p *Program) ClassifyLoop(loopID int, opts RunOptions) (*profile.Result, *ddg.Classification, error) {
+	pr, err := p.ProfileLoop(loopID, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, ddg.Classify(pr.Graph, ddg.DefaultOptions()), nil
+}
+
+// Loop returns metadata for a loop ID.
+func (p *Program) Loop(loopID int) (*sema.LoopInfo, error) {
+	l, ok := p.Info.Loops[loopID]
+	if !ok {
+		return nil, fmt.Errorf("gdsx: no loop %d in %s", loopID, p.File)
+	}
+	return l, nil
+}

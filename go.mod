@@ -1,0 +1,3 @@
+module gdsx
+
+go 1.22

@@ -1,0 +1,646 @@
+// Package alias implements a flow-insensitive, field-insensitive,
+// inclusion-based (Andersen-style) points-to analysis for MiniC. The
+// expansion pass uses it for the paper's §3.4 memory-overhead
+// reduction: a data structure is expanded only if it may be referenced
+// by a thread-private access, and a pointer is promoted to a fat
+// pointer only if it may point to an expanded structure.
+package alias
+
+import (
+	"sort"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/sema"
+	"gdsx/internal/token"
+)
+
+// ObjKind discriminates abstract memory objects.
+type ObjKind int
+
+// Abstract object kinds.
+const (
+	ObjVar  ObjKind = iota // a named variable's storage
+	ObjHeap                // all blocks allocated at one allocation site
+	ObjStr                 // interned string storage
+)
+
+// Object is an abstract memory object.
+type Object struct {
+	Kind ObjKind
+	Sym  *ast.Symbol // for ObjVar
+	Site int         // for ObjHeap
+}
+
+func (o Object) String() string {
+	switch o.Kind {
+	case ObjVar:
+		return "var " + o.Sym.Name
+	case ObjHeap:
+		return "heap#" + itoa(o.Site)
+	default:
+		return "str"
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// Analysis holds the solved points-to relation.
+type Analysis struct {
+	objOf   map[Object]int
+	objects []Object
+	nodes   []*node
+	varNode map[*ast.Symbol]int
+	objNode []int // object index -> node holding its contents
+	exprN   map[ast.Expr]int
+	retNode map[*ast.FuncDecl]int
+}
+
+type node struct {
+	pts    map[int]bool // object indices
+	copyTo map[int]bool // successor nodes: pts(this) ⊆ pts(succ)
+	// complex constraints triggered when pts grows:
+	loadTo    []int // *this flows to node t
+	storeFrom []int // node s flows into *this
+}
+
+// Analyze runs the analysis over a checked program.
+func Analyze(prog *ast.Program, info *sema.Info) *Analysis {
+	a := &Analysis{
+		objOf:   map[Object]int{},
+		varNode: map[*ast.Symbol]int{},
+		exprN:   map[ast.Expr]int{},
+		retNode: map[*ast.FuncDecl]int{},
+	}
+	a.build(prog)
+	a.solve()
+	return a
+}
+
+func (a *Analysis) newNode() int {
+	a.nodes = append(a.nodes, &node{pts: map[int]bool{}, copyTo: map[int]bool{}})
+	return len(a.nodes) - 1
+}
+
+func (a *Analysis) object(o Object) int {
+	if i, ok := a.objOf[o]; ok {
+		return i
+	}
+	i := len(a.objects)
+	a.objects = append(a.objects, o)
+	a.objOf[o] = i
+	a.objNode = append(a.objNode, -1)
+	return i
+}
+
+// contents returns the node modeling the pointers stored inside obj.
+// For variables this is the variable's own node (field-insensitive).
+func (a *Analysis) contents(obj int) int {
+	o := a.objects[obj]
+	if o.Kind == ObjVar {
+		return a.nodeOf(o.Sym)
+	}
+	if a.objNode[obj] < 0 {
+		a.objNode[obj] = a.newNode()
+	}
+	return a.objNode[obj]
+}
+
+func (a *Analysis) nodeOf(sym *ast.Symbol) int {
+	if n, ok := a.varNode[sym]; ok {
+		return n
+	}
+	n := a.newNode()
+	a.varNode[sym] = n
+	return n
+}
+
+func (a *Analysis) addAddr(n, obj int) { a.nodes[n].pts[obj] = true }
+
+// addCopy inserts the edge pts(src) ⊆ pts(dst) and reports whether it
+// is new.
+func (a *Analysis) addCopy(src, dst int) bool {
+	if src == dst || a.nodes[src].copyTo[dst] {
+		return false
+	}
+	a.nodes[src].copyTo[dst] = true
+	return true
+}
+func (a *Analysis) addLoad(ptr, dst int) { a.nodes[ptr].loadTo = append(a.nodes[ptr].loadTo, dst) }
+func (a *Analysis) addStore(ptr, src int) {
+	a.nodes[ptr].storeFrom = append(a.nodes[ptr].storeFrom, src)
+}
+
+// ---------------------------------------------------------------------
+// Constraint generation
+// ---------------------------------------------------------------------
+
+func (a *Analysis) build(prog *ast.Program) {
+	for _, d := range prog.Decls {
+		switch x := d.(type) {
+		case *ast.VarDecl:
+			if x.Init != nil {
+				a.assignTo(a.nodeOf(x.Sym), x.Init)
+			}
+		case *ast.FuncDecl:
+			a.retNode[x] = a.newNode()
+		}
+	}
+	for _, d := range prog.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok {
+			a.stmt(f, f.Body)
+		}
+	}
+}
+
+func (a *Analysis) stmt(fn *ast.FuncDecl, s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			a.stmt(fn, st)
+		}
+	case *ast.DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init != nil {
+				a.assignTo(a.nodeOf(d.Sym), d.Init)
+			}
+		}
+	case *ast.ExprStmt:
+		a.expr(fn, x.X)
+	case *ast.If:
+		a.expr(fn, x.Cond)
+		a.stmt(fn, x.Then)
+		if x.Else != nil {
+			a.stmt(fn, x.Else)
+		}
+	case *ast.For:
+		if x.Init != nil {
+			a.stmt(fn, x.Init)
+		}
+		if x.Cond != nil {
+			a.expr(fn, x.Cond)
+		}
+		if x.Post != nil {
+			a.expr(fn, x.Post)
+		}
+		a.stmt(fn, x.Body)
+	case *ast.While:
+		a.expr(fn, x.Cond)
+		a.stmt(fn, x.Body)
+	case *ast.DoWhile:
+		a.stmt(fn, x.Body)
+		a.expr(fn, x.Cond)
+	case *ast.Return:
+		if x.X != nil {
+			a.assignToNode(a.retNode[fn], a.expr(fn, x.X))
+		}
+	}
+}
+
+// expr returns the node holding the abstract pointer value of e,
+// generating constraints for any side effects inside e.
+func (a *Analysis) expr(fn *ast.FuncDecl, e ast.Expr) int {
+	if n, ok := a.exprN[e]; ok {
+		return n
+	}
+	n := a.exprUncached(fn, e)
+	a.exprN[e] = n
+	return n
+}
+
+func (a *Analysis) exprUncached(fn *ast.FuncDecl, e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.Ident:
+		switch x.Sym.Kind {
+		case ast.SymGlobal, ast.SymLocal, ast.SymParam:
+			if x.Sym.Type.Kind == ctypes.Array {
+				// An array rvalue is the address of the array object.
+				n := a.newNode()
+				a.addAddr(n, a.object(Object{Kind: ObjVar, Sym: x.Sym}))
+				return n
+			}
+			return a.nodeOf(x.Sym)
+		}
+		return a.newNode()
+
+	case *ast.IntLit, *ast.FloatLit, *ast.SizeofType, *ast.SizeofExpr:
+		return a.newNode()
+
+	case *ast.StringLit:
+		n := a.newNode()
+		a.addAddr(n, a.object(Object{Kind: ObjStr}))
+		return n
+
+	case *ast.Unary:
+		switch x.Op {
+		case token.AND:
+			n := a.newNode()
+			objs := a.lvalueObjects(fn, x.X)
+			for _, obj := range objs {
+				a.addAddr(n, obj)
+			}
+			if len(objs) == 0 {
+				// &(*p), &p[i], &p->f: the address points wherever the
+				// base pointer points (field-insensitively).
+				if ptr, ok := a.derefBase(fn, x.X); ok {
+					a.addCopy(ptr, n)
+				}
+			}
+			return n
+		case token.MUL:
+			ptr := a.expr(fn, x.X)
+			n := a.newNode()
+			a.addLoad(ptr, n)
+			return n
+		default:
+			a.expr(fn, x.X)
+			return a.newNode()
+		}
+
+	case *ast.Binary:
+		xn := a.expr(fn, x.X)
+		yn := a.expr(fn, x.Y)
+		// Pointer arithmetic: the result points where the pointer
+		// operand points (field/element-insensitive).
+		n := a.newNode()
+		if t := x.X.ExprType(); t != nil && (t.Kind == ctypes.Ptr || t.Kind == ctypes.Array) {
+			a.addCopy(xn, n)
+		}
+		if t := x.Y.ExprType(); t != nil && (t.Kind == ctypes.Ptr || t.Kind == ctypes.Array) {
+			a.addCopy(yn, n)
+		}
+		return n
+
+	case *ast.Logical:
+		a.expr(fn, x.X)
+		a.expr(fn, x.Y)
+		return a.newNode()
+
+	case *ast.Cond:
+		a.expr(fn, x.C)
+		tn := a.expr(fn, x.Then)
+		en := a.expr(fn, x.Else)
+		n := a.newNode()
+		a.addCopy(tn, n)
+		a.addCopy(en, n)
+		return n
+
+	case *ast.Assign:
+		rhs := a.expr(fn, x.RHS)
+		a.assignLvalue(fn, x.LHS, rhs)
+		return rhs
+
+	case *ast.IncDec:
+		return a.expr(fn, x.X)
+
+	case *ast.Index:
+		base := a.expr(fn, x.X)
+		a.expr(fn, x.I)
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			// Indexing an array lvalue: the elements live inside the
+			// same object; field-insensitively its contents node is
+			// the base node itself (for variables) — a load from the
+			// address of the object.
+			if x.ExprType() != nil && x.ExprType().Kind == ctypes.Array {
+				return base
+			}
+			n := a.newNode()
+			a.addLoad(base, n)
+			return n
+		}
+		n := a.newNode()
+		a.addLoad(base, n)
+		return n
+
+	case *ast.Member:
+		if x.Arrow {
+			ptr := a.expr(fn, x.X)
+			n := a.newNode()
+			a.addLoad(ptr, n)
+			return n
+		}
+		// s.f: contents of the object of s (field-insensitive).
+		n := a.newNode()
+		for _, obj := range a.lvalueObjects(fn, x.X) {
+			a.addCopy(a.contents(obj), n)
+		}
+		return n
+
+	case *ast.Call:
+		return a.call(fn, x)
+
+	case *ast.Cast:
+		return a.expr(fn, x.X)
+	}
+	return a.newNode()
+}
+
+// lvalueObjects returns the abstract objects an lvalue designates.
+func (a *Analysis) lvalueObjects(fn *ast.FuncDecl, e ast.Expr) []int {
+	switch x := e.(type) {
+	case *ast.Ident:
+		switch x.Sym.Kind {
+		case ast.SymGlobal, ast.SymLocal, ast.SymParam:
+			return []int{a.object(Object{Kind: ObjVar, Sym: x.Sym})}
+		}
+		return nil
+	case *ast.Index:
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			return a.lvalueObjects(fn, x.X)
+		}
+		// p[i]: objects pointed to by p. Resolved after solving; here
+		// we conservatively route through a load-node object set by
+		// returning nothing and relying on assignLvalue's store
+		// constraint instead.
+		return nil
+	case *ast.Member:
+		if !x.Arrow {
+			return a.lvalueObjects(fn, x.X)
+		}
+		return nil
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			return nil
+		}
+	}
+	return nil
+}
+
+// derefBase returns the node of the pointer being dereferenced by a
+// deref-shaped lvalue (*p, p[i], p->f), descending through dot-member
+// and array-index layers.
+func (a *Analysis) derefBase(fn *ast.FuncDecl, e ast.Expr) (int, bool) {
+	switch x := e.(type) {
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			return a.expr(fn, x.X), true
+		}
+	case *ast.Index:
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			return a.derefBase(fn, x.X)
+		}
+		return a.expr(fn, x.X), true
+	case *ast.Member:
+		if x.Arrow {
+			return a.expr(fn, x.X), true
+		}
+		return a.derefBase(fn, x.X)
+	}
+	return 0, false
+}
+
+// assignLvalue generates constraints for "lhs = value-of(rhsNode)".
+func (a *Analysis) assignLvalue(fn *ast.FuncDecl, lhs ast.Expr, rhs int) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		switch x.Sym.Kind {
+		case ast.SymGlobal, ast.SymLocal, ast.SymParam:
+			a.addCopy(rhs, a.nodeOf(x.Sym))
+		}
+	case *ast.Index:
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			// a[i] = v with a an array object: store into the object's
+			// contents node.
+			for _, obj := range a.lvalueObjects(fn, x.X) {
+				a.addCopy(rhs, a.contents(obj))
+			}
+			return
+		}
+		ptr := a.expr(fn, x.X)
+		a.expr(fn, x.I)
+		a.addStore(ptr, rhs)
+	case *ast.Member:
+		if x.Arrow {
+			ptr := a.expr(fn, x.X)
+			a.addStore(ptr, rhs)
+			return
+		}
+		for _, obj := range a.lvalueObjects(fn, x.X) {
+			a.addCopy(rhs, a.contents(obj))
+		}
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			ptr := a.expr(fn, x.X)
+			a.addStore(ptr, rhs)
+		}
+	}
+}
+
+// assignTo generates "node ⊇ value of e".
+func (a *Analysis) assignTo(n int, e ast.Expr) {
+	a.assignToNode(n, a.exprForInit(e))
+}
+
+func (a *Analysis) exprForInit(e ast.Expr) int {
+	// Global initializers are constant; function context is nil-safe
+	// because constants never reference locals.
+	return a.expr(nil, e)
+}
+
+func (a *Analysis) assignToNode(dst, src int) { a.addCopy(src, dst) }
+
+func (a *Analysis) call(fn *ast.FuncDecl, x *ast.Call) int {
+	sym := x.Fun.Sym
+	if sym.Kind == ast.SymBuiltin {
+		var argNodes []int
+		for _, arg := range x.Args {
+			argNodes = append(argNodes, a.expr(fn, arg))
+		}
+		switch sym.Builtin {
+		case ast.BMalloc, ast.BCalloc:
+			n := a.newNode()
+			a.addAddr(n, a.object(Object{Kind: ObjHeap, Site: x.AllocSite}))
+			return n
+		case ast.BRealloc:
+			// realloc may return the old object or a new one at this
+			// site; both are possible targets.
+			n := a.newNode()
+			a.addAddr(n, a.object(Object{Kind: ObjHeap, Site: x.AllocSite}))
+			a.addCopy(argNodes[0], n)
+			return n
+		case ast.BMemcpy:
+			// Pointer contents may be copied between the objects.
+			tmp := a.newNode()
+			a.addLoad(argNodes[1], tmp)
+			a.addStore(argNodes[0], tmp)
+			return a.newNode()
+		}
+		return a.newNode()
+	}
+	callee := sym.Fn
+	for i, arg := range x.Args {
+		an := a.expr(fn, arg)
+		if i < len(callee.Params) {
+			a.addCopy(an, a.nodeOf(callee.Params[i].Sym))
+		}
+	}
+	return a.retNode[callee]
+}
+
+// ---------------------------------------------------------------------
+// Solver
+// ---------------------------------------------------------------------
+
+func (a *Analysis) solve() {
+	work := make([]int, 0, len(a.nodes))
+	inWork := make([]bool, len(a.nodes))
+	push := func(n int) {
+		if n < len(inWork) && !inWork[n] {
+			inWork[n] = true
+			work = append(work, n)
+		}
+	}
+	for i := range a.nodes {
+		if len(a.nodes[i].pts) > 0 {
+			push(i)
+		}
+	}
+	// The graph can grow nodes during solving (contents nodes); track
+	// dynamically.
+	grow := func() {
+		for len(inWork) < len(a.nodes) {
+			inWork = append(inWork, false)
+		}
+	}
+	propagate := func(src, dst int) bool {
+		changed := false
+		for o := range a.nodes[src].pts {
+			if !a.nodes[dst].pts[o] {
+				a.nodes[dst].pts[o] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+		nd := a.nodes[n]
+		// Resolve complex constraints against the current pts set.
+		for o := range nd.pts {
+			c := a.contents(o)
+			grow()
+			for _, dst := range nd.loadTo {
+				// Record the edge for future growth of contents(o) and
+				// propagate the current set across it now.
+				a.addCopy(c, dst)
+				if propagate(c, dst) {
+					push(dst)
+				}
+			}
+			for _, src := range nd.storeFrom {
+				a.addCopy(src, c)
+				if propagate(src, c) {
+					push(c)
+				}
+			}
+		}
+		for dst := range nd.copyTo {
+			if propagate(n, dst) {
+				push(dst)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+// PointsTo returns the abstract objects a pointer-valued expression may
+// point to, in deterministic order. The expression must come from the
+// analyzed program.
+func (a *Analysis) PointsTo(e ast.Expr) []Object {
+	n, ok := a.exprN[e]
+	if !ok {
+		return nil
+	}
+	return a.objectsOf(n)
+}
+
+// PointsToRet returns what a function's returned pointer may point to.
+func (a *Analysis) PointsToRet(fn *ast.FuncDecl) []Object {
+	n, ok := a.retNode[fn]
+	if !ok {
+		return nil
+	}
+	return a.objectsOf(n)
+}
+
+// PointsToSym returns what a pointer variable may point to.
+func (a *Analysis) PointsToSym(sym *ast.Symbol) []Object {
+	n, ok := a.varNode[sym]
+	if !ok {
+		return nil
+	}
+	return a.objectsOf(n)
+}
+
+func (a *Analysis) objectsOf(n int) []Object {
+	var out []Object
+	for o := range a.nodes[n].pts {
+		out = append(out, a.objects[o])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		if out[i].Sym != nil && out[j].Sym != nil {
+			return out[i].Sym.Name < out[j].Sym.Name
+		}
+		return false
+	})
+	return out
+}
+
+// MayPoint reports whether pointer symbol sym may point to obj.
+func (a *Analysis) MayPoint(sym *ast.Symbol, obj Object) bool {
+	n, ok := a.varNode[sym]
+	if !ok {
+		return false
+	}
+	i, ok := a.objOf[obj]
+	if !ok {
+		return false
+	}
+	return a.nodes[n].pts[i]
+}
+
+// PointerSyms returns every variable symbol whose points-to set
+// intersects objs, in deterministic order. These are the pointers the
+// expansion pass must promote to fat pointers.
+func (a *Analysis) PointerSyms(objs map[Object]bool) []*ast.Symbol {
+	idx := map[int]bool{}
+	for o := range objs {
+		if i, ok := a.objOf[o]; ok {
+			idx[i] = true
+		}
+	}
+	var out []*ast.Symbol
+	for sym, n := range a.varNode {
+		for o := range a.nodes[n].pts {
+			if idx[o] {
+				out = append(out, sym)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

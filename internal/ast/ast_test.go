@@ -1,0 +1,162 @@
+package ast
+
+import (
+	"testing"
+
+	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
+)
+
+func bin(op token.Kind, x, y Expr) *Binary { return &Binary{Op: op, X: x, Y: y} }
+func lit(v int64) *IntLit                  { return &IntLit{Value: v} }
+func id(n string) *Ident                   { return &Ident{Name: n} }
+
+func TestPrintPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{bin(token.ADD, lit(1), bin(token.MUL, lit(2), lit(3))), "1 + 2 * 3"},
+		{bin(token.MUL, bin(token.ADD, lit(1), lit(2)), lit(3)), "(1 + 2) * 3"},
+		{bin(token.SUB, lit(1), bin(token.SUB, lit(2), lit(3))), "1 - (2 - 3)"},
+		{&Unary{Op: token.MUL, X: bin(token.ADD, id("p"), lit(1))}, "*(p + 1)"},
+		{&Index{X: bin(token.ADD, id("p"), id("t")), I: id("k")}, "(p + t)[k]"},
+		{bin(token.AND, bin(token.SHR, id("x"), lit(3)), lit(255)), "x >> 3 & 255"},
+		{&Assign{Op: token.ASSIGN, LHS: id("a"), RHS: &Assign{Op: token.ASSIGN, LHS: id("b"), RHS: lit(0)}}, "a = b = 0"},
+		{&Cond{C: id("c"), Then: lit(1), Else: lit(2)}, "c ? 1 : 2"},
+		{&Member{X: &Member{X: id("a"), Name: "b"}, Name: "c"}, "a.b.c"},
+		{&Member{X: id("p"), Name: "f", Arrow: true}, "p->f"},
+		{&Cast{To: ctypes.PointerTo(ctypes.ShortType), X: id("z")}, "(short*)z"},
+		{&Logical{Op: token.LAND, X: id("a"), Y: &Logical{Op: token.LOR, X: id("b"), Y: id("c")}}, "a && (b || c)"},
+	}
+	for _, c := range cases {
+		if got := PrintExpr(c.e); got != c.want {
+			t.Errorf("PrintExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintFloat(t *testing.T) {
+	if got := PrintExpr(&FloatLit{Value: 2}); got != "2.0" {
+		t.Errorf("float 2 prints %q", got)
+	}
+	if got := PrintExpr(&FloatLit{Value: 1.5}); got != "1.5" {
+		t.Errorf("float 1.5 prints %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := &Index{
+		X: &Member{X: id("s"), Name: "buf"},
+		I: bin(token.ADD, id("i"), lit(1)),
+	}
+	orig.Acc = Access{Load: 7}
+	c := CloneExpr(orig).(*Index)
+	if c == orig || c.X == orig.X || c.I == orig.I {
+		t.Fatal("clone shares nodes")
+	}
+	if c.Acc.Load != 0 {
+		t.Fatal("clone must not inherit access IDs")
+	}
+	// Mutating the clone must not affect the original.
+	c.I = lit(99)
+	if PrintExpr(orig) != "s.buf[i + 1]" {
+		t.Fatalf("original changed: %s", PrintExpr(orig))
+	}
+	if PrintExpr(c) != "s.buf[99]" {
+		t.Fatalf("clone wrong: %s", PrintExpr(c))
+	}
+}
+
+func TestFoldConst(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want int64
+		ok   bool
+	}{
+		{bin(token.ADD, lit(2), bin(token.MUL, lit(3), lit(4))), 14, true},
+		{bin(token.SHL, lit(1), lit(10)), 1024, true},
+		{bin(token.QUO, lit(7), lit(0)), 0, false},
+		{&Unary{Op: token.SUB, X: lit(5)}, -5, true},
+		{&SizeofType{Of: ctypes.IntType}, 4, true},
+		{bin(token.ADD, id("x"), lit(1)), 0, false},
+	}
+	for i, c := range cases {
+		got, ok := FoldConst(c.e)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: FoldConst = %d,%v want %d,%v", i, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestRewriteExprsBottomUp(t *testing.T) {
+	// Replace every IntLit 1 with 2 inside a statement; the sweep must
+	// reach nested expressions.
+	s := &ExprStmt{X: &Assign{Op: token.ASSIGN, LHS: id("a"),
+		RHS: bin(token.ADD, lit(1), &Index{X: id("b"), I: lit(1)})}}
+	RewriteExprs(s, func(e Expr) Expr {
+		if l, ok := e.(*IntLit); ok && l.Value == 1 {
+			return lit(2)
+		}
+		return e
+	})
+	if got := PrintStmt(s); got != "a = 2 + b[2];" {
+		t.Fatalf("rewritten = %q", got)
+	}
+}
+
+func TestRewriteStmtsSplice(t *testing.T) {
+	// Duplicate every expression statement, including inside nested
+	// blocks and loop bodies.
+	body := &Block{Stmts: []Stmt{
+		&ExprStmt{X: id("a")},
+		&While{Cond: id("c"), Body: &ExprStmt{X: id("b")}},
+	}}
+	count := 0
+	RewriteStmts(body, func(s Stmt) []Stmt {
+		if _, ok := s.(*ExprStmt); ok {
+			count++
+			return []Stmt{s, s}
+		}
+		return []Stmt{s}
+	})
+	if count != 2 {
+		t.Fatalf("visited %d expr statements", count)
+	}
+	if len(body.Stmts) != 3 {
+		t.Fatalf("top level not spliced: %d", len(body.Stmts))
+	}
+	w := body.Stmts[2].(*While)
+	wb, ok := w.Body.(*Block)
+	if !ok || len(wb.Stmts) != 2 {
+		t.Fatalf("loop body not wrapped and spliced: %T", w.Body)
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	e := bin(token.ADD, bin(token.MUL, lit(1), lit(2)), lit(3))
+	var seen int
+	Inspect(e, func(n Node) bool {
+		seen++
+		_, isMul := n.(*Binary)
+		if isMul && n.(*Binary).Op == token.MUL {
+			return false // prune: skip 1 and 2
+		}
+		return true
+	})
+	if seen != 3 { // ADD, MUL, 3
+		t.Fatalf("seen = %d, want 3", seen)
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	f := &FuncDecl{Name: "main", Ret: ctypes.IntType, Body: &Block{}}
+	g := &VarDecl{Name: "g", Type: ctypes.IntType}
+	p := &Program{Decls: []Decl{g, f}}
+	if p.Func("main") != f || p.Func("other") != nil {
+		t.Fatal("Func lookup")
+	}
+	if len(p.Funcs()) != 1 || len(p.Globals()) != 1 {
+		t.Fatal("collections")
+	}
+}

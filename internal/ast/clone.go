@@ -1,0 +1,88 @@
+package ast
+
+// CloneExpr returns a deep copy of an expression. Symbols, types and
+// field descriptors are shared (the expansion pipeline re-parses and
+// re-checks transformed programs, so sharing is safe); access IDs are
+// cleared on the copy so cloned nodes never alias profiling sites.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Ident:
+		c := *x
+		c.Acc = Access{}
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StringLit:
+		c := *x
+		return &c
+	case *Unary:
+		c := *x
+		c.Acc = Access{}
+		c.X = CloneExpr(x.X)
+		return &c
+	case *Binary:
+		c := *x
+		c.X = CloneExpr(x.X)
+		c.Y = CloneExpr(x.Y)
+		return &c
+	case *Logical:
+		c := *x
+		c.X = CloneExpr(x.X)
+		c.Y = CloneExpr(x.Y)
+		return &c
+	case *Cond:
+		c := *x
+		c.C = CloneExpr(x.C)
+		c.Then = CloneExpr(x.Then)
+		c.Else = CloneExpr(x.Else)
+		return &c
+	case *Assign:
+		c := *x
+		c.LHS = CloneExpr(x.LHS)
+		c.RHS = CloneExpr(x.RHS)
+		return &c
+	case *IncDec:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *Index:
+		c := *x
+		c.Acc = Access{}
+		c.X = CloneExpr(x.X)
+		c.I = CloneExpr(x.I)
+		return &c
+	case *Member:
+		c := *x
+		c.Acc = Access{}
+		c.X = CloneExpr(x.X)
+		return &c
+	case *Call:
+		c := *x
+		c.Acc = Access{}
+		c.Fun = CloneExpr(x.Fun).(*Ident)
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return &c
+	case *Cast:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *SizeofType:
+		c := *x
+		return &c
+	case *SizeofExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	}
+	panic("ast: CloneExpr: unknown expression")
+}

@@ -1,0 +1,72 @@
+package ast
+
+import "gdsx/internal/token"
+
+// FoldConst evaluates integer constant expressions built from literals,
+// sizeof with static types, unary -/~/! and binary arithmetic.
+func FoldConst(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, true
+	case *SizeofType:
+		if x.Of.HasStaticSize() {
+			return x.Of.Size(), true
+		}
+	case *Unary:
+		v, ok := FoldConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.SUB:
+			return -v, true
+		case token.ADD:
+			return v, true
+		case token.NOT:
+			return ^v, true
+		case token.LNOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Binary:
+		a, ok := FoldConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		b, ok := FoldConst(x.Y)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.REM:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.SHL:
+			return a << uint(b), true
+		case token.SHR:
+			return a >> uint(b), true
+		case token.AND:
+			return a & b, true
+		case token.OR:
+			return a | b, true
+		case token.XOR:
+			return a ^ b, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,430 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
+)
+
+// Print renders the program as MiniC source. The output of Print on a
+// transformed tree is itself valid MiniC, which keeps every stage of
+// the expansion pipeline inspectable and re-parsable.
+func Print(p *Program) string {
+	var pr printer
+	for i, d := range p.Decls {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.decl(d)
+	}
+	return pr.sb.String()
+}
+
+// PrintStmt renders a single statement (used in tests and diagnostics).
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e, precLowest)
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) w(s string)                   { p.sb.WriteString(s) }
+func (p *printer) f(format string, args ...any) { fmt.Fprintf(&p.sb, format, args...) }
+
+func (p *printer) nl() {
+	p.w("\n")
+	for i := 0; i < p.indent; i++ {
+		p.w("    ")
+	}
+}
+
+func (p *printer) decl(d Decl) {
+	switch x := d.(type) {
+	case *StructDef:
+		p.f("struct %s {", x.Type.Name)
+		p.indent++
+		for _, fld := range x.Type.Fields {
+			p.nl()
+			p.w(declString(fld.Type, fld.Name, nil))
+			p.w(";")
+		}
+		p.indent--
+		p.nl()
+		p.w("};")
+		p.nl()
+	case *VarDecl:
+		p.varDecl(x)
+		p.w(";")
+		p.nl()
+	case *FuncDecl:
+		p.f("%s %s(", typePrefix(x.Ret), x.Name)
+		for i, par := range x.Params {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.w(declString(par.Type, par.Name, nil))
+		}
+		p.w(") ")
+		p.block(x.Body)
+		p.nl()
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	var vla string
+	if d.VLALen != nil {
+		vla = PrintExpr(d.VLALen)
+	}
+	p.w(declString(d.Type, d.Name, &vla))
+	if d.Init != nil {
+		p.w(" = ")
+		p.expr(d.Init, precAssign)
+	}
+}
+
+// declString renders "T name" with C declarator syntax for pointers and
+// arrays. vla, when non-nil, is the textual length of the outermost
+// dynamic array dimension.
+func declString(t *ctypes.Type, name string, vla *string) string {
+	suffix := ""
+	for t.Kind == ctypes.Array {
+		if t.Len < 0 {
+			length := ""
+			if vla != nil {
+				length = *vla
+			}
+			suffix += "[" + length + "]"
+		} else {
+			suffix += fmt.Sprintf("[%d]", t.Len)
+		}
+		t = t.Elem
+	}
+	stars := ""
+	for t.Kind == ctypes.Ptr {
+		stars += "*"
+		t = t.Elem
+	}
+	return fmt.Sprintf("%s %s%s%s", typePrefix(t), stars, name, suffix)
+}
+
+func typePrefix(t *ctypes.Type) string {
+	switch t.Kind {
+	case ctypes.Struct:
+		return "struct " + t.Name
+	case ctypes.Ptr:
+		return typePrefix(t.Elem) + "*"
+	default:
+		return t.String()
+	}
+}
+
+func (p *printer) block(b *Block) {
+	p.w("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.w("}")
+}
+
+func (p *printer) stmtOrBlock(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.indent++
+	p.nl()
+	p.stmt(s)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		p.block(x)
+	case *DeclStmt:
+		for i, d := range x.Decls {
+			if i > 0 {
+				p.nl()
+			}
+			p.varDecl(d)
+			p.w(";")
+		}
+	case *ExprStmt:
+		p.expr(x.X, precLowest)
+		p.w(";")
+	case *If:
+		p.w("if (")
+		p.expr(x.Cond, precLowest)
+		p.w(") ")
+		if _, ok := x.Then.(*Block); ok {
+			p.block(x.Then.(*Block))
+		} else {
+			p.stmtOrBlock(x.Then)
+		}
+		if x.Else != nil {
+			if _, ok := x.Then.(*Block); ok {
+				p.w(" else ")
+			} else {
+				p.nl()
+				p.w("else ")
+			}
+			if eb, ok := x.Else.(*Block); ok {
+				p.block(eb)
+			} else {
+				p.stmtOrBlock(x.Else)
+			}
+		}
+	case *For:
+		switch x.Par {
+		case DOALL:
+			p.w("parallel ")
+		case DOACROSS:
+			p.w("parallel doacross ")
+		}
+		p.w("for (")
+		if x.Init != nil {
+			switch init := x.Init.(type) {
+			case *ExprStmt:
+				p.expr(init.X, precLowest)
+			case *DeclStmt:
+				for i, d := range init.Decls {
+					if i > 0 {
+						p.w(", ")
+					}
+					p.varDecl(d)
+				}
+			}
+		}
+		p.w("; ")
+		if x.Cond != nil {
+			p.expr(x.Cond, precLowest)
+		}
+		p.w("; ")
+		if x.Post != nil {
+			p.expr(x.Post, precLowest)
+		}
+		p.w(") ")
+		p.stmtBody(x.Body)
+	case *While:
+		p.w("while (")
+		p.expr(x.Cond, precLowest)
+		p.w(") ")
+		p.stmtBody(x.Body)
+	case *DoWhile:
+		p.w("do ")
+		p.stmtBody(x.Body)
+		p.w(" while (")
+		p.expr(x.Cond, precLowest)
+		p.w(");")
+	case *Return:
+		p.w("return")
+		if x.X != nil {
+			p.w(" ")
+			p.expr(x.X, precLowest)
+		}
+		p.w(";")
+	case *Break:
+		p.w("break;")
+	case *Continue:
+		p.w("continue;")
+	case *SyncWait:
+		p.w("__sync_wait();")
+	case *SyncPost:
+		p.w("__sync_post();")
+	}
+}
+
+func (p *printer) stmtBody(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+	} else {
+		p.stmtOrBlock(s)
+	}
+}
+
+// Operator precedence levels, loosest to tightest.
+const (
+	precLowest = iota
+	precAssign
+	precCond
+	precLOr
+	precLAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func binPrec(op token.Kind) int {
+	switch op {
+	case token.LOR:
+		return precLOr
+	case token.LAND:
+		return precLAnd
+	case token.OR:
+		return precBitOr
+	case token.XOR:
+		return precBitXor
+	case token.AND:
+		return precBitAnd
+	case token.EQL, token.NEQ:
+		return precEq
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return precRel
+	case token.SHL, token.SHR:
+		return precShift
+	case token.ADD, token.SUB:
+		return precAdd
+	case token.MUL, token.QUO, token.REM:
+		return precMul
+	}
+	panic("ast: binPrec: " + op.String())
+}
+
+// expr prints e, parenthesizing if its precedence is looser than min.
+func (p *printer) expr(e Expr, min int) {
+	prec := exprPrec(e)
+	if prec < min {
+		p.w("(")
+		p.exprBody(e)
+		p.w(")")
+		return
+	}
+	p.exprBody(e)
+}
+
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Assign:
+		return precAssign
+	case *Cond:
+		return precCond
+	case *Binary:
+		return binPrec(x.Op)
+	case *Logical:
+		return binPrec(x.Op)
+	case *Unary, *Cast, *SizeofExpr, *SizeofType:
+		return precUnary
+	case *IncDec:
+		if x.Post {
+			return precPostfix
+		}
+		return precUnary
+	case *Index, *Member, *Call:
+		return precPostfix
+	default:
+		return precPostfix + 1 // atoms
+	}
+}
+
+func (p *printer) exprBody(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		p.w(x.Name)
+	case *IntLit:
+		p.f("%d", x.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.w(s)
+	case *StringLit:
+		p.f("%q", x.Value)
+	case *Unary:
+		p.w(x.Op.String())
+		p.expr(x.X, precUnary)
+	case *Binary:
+		prec := binPrec(x.Op)
+		p.expr(x.X, prec)
+		p.f(" %s ", x.Op)
+		p.expr(x.Y, prec+1)
+	case *Logical:
+		prec := binPrec(x.Op)
+		p.expr(x.X, prec)
+		p.f(" %s ", x.Op)
+		p.expr(x.Y, prec+1)
+	case *Cond:
+		p.expr(x.C, precLOr)
+		p.w(" ? ")
+		p.expr(x.Then, precAssign)
+		p.w(" : ")
+		p.expr(x.Else, precCond)
+	case *Assign:
+		p.expr(x.LHS, precUnary)
+		p.f(" %s ", x.Op)
+		p.expr(x.RHS, precAssign)
+	case *IncDec:
+		if x.Post {
+			p.expr(x.X, precPostfix)
+			p.w(x.Op.String())
+		} else {
+			p.w(x.Op.String())
+			p.expr(x.X, precUnary)
+		}
+	case *Index:
+		p.expr(x.X, precPostfix)
+		p.w("[")
+		p.expr(x.I, precLowest)
+		p.w("]")
+	case *Member:
+		p.expr(x.X, precPostfix)
+		if x.Arrow {
+			p.w("->")
+		} else {
+			p.w(".")
+		}
+		p.w(x.Name)
+	case *Call:
+		p.w(x.Fun.Name)
+		p.w("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.w(")")
+	case *Cast:
+		p.f("(%s)", castTypeString(x.To))
+		p.expr(x.X, precUnary)
+	case *SizeofType:
+		p.f("sizeof(%s)", castTypeString(x.Of))
+	case *SizeofExpr:
+		p.w("sizeof(")
+		p.expr(x.X, precLowest)
+		p.w(")")
+	}
+}
+
+func castTypeString(t *ctypes.Type) string {
+	stars := ""
+	for t.Kind == ctypes.Ptr {
+		stars += "*"
+		t = t.Elem
+	}
+	return typePrefix(t) + stars
+}

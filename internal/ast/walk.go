@@ -1,0 +1,264 @@
+package ast
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f
+// for each node. If f returns false for a node, its children are not
+// visited. Nil children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Inspect(p, f)
+		}
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *VarDecl:
+		if x.VLALen != nil {
+			Inspect(x.VLALen, f)
+		}
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+	case *StructDef:
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *If:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *For:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *While:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *DoWhile:
+		Inspect(x.Body, f)
+		Inspect(x.Cond, f)
+	case *Return:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *Break, *Continue, *SyncWait, *SyncPost:
+	case *Ident, *IntLit, *FloatLit, *StringLit, *SizeofType:
+	case *Unary:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *Logical:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *Cond:
+		Inspect(x.C, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Assign:
+		Inspect(x.LHS, f)
+		Inspect(x.RHS, f)
+	case *IncDec:
+		Inspect(x.X, f)
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.I, f)
+	case *Member:
+		Inspect(x.X, f)
+	case *Call:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Cast:
+		Inspect(x.X, f)
+	case *SizeofExpr:
+		Inspect(x.X, f)
+	default:
+		panic("ast: Inspect: unknown node")
+	}
+}
+
+// RewriteExprs walks the subtree rooted at n and replaces every
+// expression e with f(e), applied bottom-up (children first). The
+// callback must return a non-nil expression; returning its argument
+// leaves the node unchanged. Statements and declarations are traversed
+// but never replaced.
+func RewriteExprs(n Node, f func(Expr) Expr) {
+	rw := func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		return rewriteExpr(e, f)
+	}
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Decls {
+			RewriteExprs(d, f)
+		}
+	case *FuncDecl:
+		if x.Body != nil {
+			RewriteExprs(x.Body, f)
+		}
+	case *VarDecl:
+		x.VLALen = rw(x.VLALen)
+		x.Init = rw(x.Init)
+	case *StructDef:
+	case *Block:
+		for _, s := range x.Stmts {
+			RewriteExprs(s, f)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			RewriteExprs(d, f)
+		}
+	case *ExprStmt:
+		x.X = rw(x.X)
+	case *If:
+		x.Cond = rw(x.Cond)
+		RewriteExprs(x.Then, f)
+		if x.Else != nil {
+			RewriteExprs(x.Else, f)
+		}
+	case *For:
+		if x.Init != nil {
+			RewriteExprs(x.Init, f)
+		}
+		x.Cond = rw(x.Cond)
+		x.Post = rw(x.Post)
+		RewriteExprs(x.Body, f)
+	case *While:
+		x.Cond = rw(x.Cond)
+		RewriteExprs(x.Body, f)
+	case *DoWhile:
+		RewriteExprs(x.Body, f)
+		x.Cond = rw(x.Cond)
+	case *Return:
+		x.X = rw(x.X)
+	case *Break, *Continue, *SyncWait, *SyncPost:
+	default:
+		panic("ast: RewriteExprs: unknown statement")
+	}
+}
+
+func rewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case *Ident, *IntLit, *FloatLit, *StringLit, *SizeofType:
+	case *Unary:
+		x.X = rewriteExpr(x.X, f)
+	case *Binary:
+		x.X = rewriteExpr(x.X, f)
+		x.Y = rewriteExpr(x.Y, f)
+	case *Logical:
+		x.X = rewriteExpr(x.X, f)
+		x.Y = rewriteExpr(x.Y, f)
+	case *Cond:
+		x.C = rewriteExpr(x.C, f)
+		x.Then = rewriteExpr(x.Then, f)
+		x.Else = rewriteExpr(x.Else, f)
+	case *Assign:
+		x.LHS = rewriteExpr(x.LHS, f)
+		x.RHS = rewriteExpr(x.RHS, f)
+	case *IncDec:
+		x.X = rewriteExpr(x.X, f)
+	case *Index:
+		x.X = rewriteExpr(x.X, f)
+		x.I = rewriteExpr(x.I, f)
+	case *Member:
+		x.X = rewriteExpr(x.X, f)
+	case *Call:
+		for i, a := range x.Args {
+			x.Args[i] = rewriteExpr(a, f)
+		}
+	case *Cast:
+		x.X = rewriteExpr(x.X, f)
+	case *SizeofExpr:
+		x.X = rewriteExpr(x.X, f)
+	default:
+		panic("ast: rewriteExpr: unknown expression")
+	}
+	return f(e)
+}
+
+// RewriteStmts walks the statement lists in the subtree rooted at n and
+// replaces each statement s with the slice f(s), applied to the
+// statements of every Block (recursively, bottom-up). Returning
+// []Stmt{s} leaves s in place; returning more statements splices them.
+// Non-block statement positions (loop bodies, if branches) are wrapped
+// in a Block first if f wants to splice there, so f sees every
+// statement exactly once.
+func RewriteStmts(n Node, f func(Stmt) []Stmt) {
+	switch x := n.(type) {
+	case *Program:
+		for _, d := range x.Decls {
+			if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+				RewriteStmts(fd.Body, f)
+			}
+		}
+	case *Block:
+		var out []Stmt
+		for _, s := range x.Stmts {
+			rewriteChildStmts(s, f)
+			out = append(out, f(s)...)
+		}
+		x.Stmts = out
+	default:
+		rewriteChildStmts(n, f)
+	}
+}
+
+func rewriteChildStmts(s Node, f func(Stmt) []Stmt) {
+	wrap := func(child Stmt) Stmt {
+		if child == nil {
+			return nil
+		}
+		if b, ok := child.(*Block); ok {
+			RewriteStmts(b, f)
+			return b
+		}
+		rewriteChildStmts(child, f)
+		repl := f(child)
+		if len(repl) == 1 {
+			return repl[0]
+		}
+		b := &Block{Stmts: repl}
+		b.SetPos(child.Pos())
+		return b
+	}
+	switch x := s.(type) {
+	case *Block:
+		RewriteStmts(x, f)
+	case *If:
+		x.Then = wrap(x.Then)
+		x.Else = wrap(x.Else)
+	case *For:
+		x.Body = wrap(x.Body)
+	case *While:
+		x.Body = wrap(x.Body)
+	case *DoWhile:
+		x.Body = wrap(x.Body)
+	}
+}

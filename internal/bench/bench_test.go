@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/workloads"
+)
+
+func profileHarness() *Harness {
+	cfg := DefaultConfig()
+	cfg.Scale = workloads.ProfileScale
+	return New(cfg)
+}
+
+func TestRunAllProfileScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run is not short")
+	}
+	h := profileHarness()
+	rep, err := h.RunAll()
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(rep.Table4) != 8 || len(rep.Fig14) != 8 {
+		t.Fatalf("incomplete report: %d table4 rows, %d fig14 rows", len(rep.Table4), len(rep.Fig14))
+	}
+
+	// Table 5 must match the paper exactly.
+	for _, row := range rep.Table5 {
+		if row.Privatized != row.Paper {
+			t.Errorf("table5 %s: %d != paper %d", row.Name, row.Privatized, row.Paper)
+		}
+	}
+
+	// Shape checks against the paper's qualitative results.
+	for _, row := range rep.Fig9 {
+		if row.Unopt < row.Opt {
+			t.Errorf("fig9 %s: unoptimized (%.2f) should cost at least optimized (%.2f)",
+				row.Name, row.Unopt, row.Opt)
+		}
+		if row.Opt < 1.0 {
+			t.Errorf("fig9 %s: optimized slowdown %.2f below 1", row.Name, row.Opt)
+		}
+	}
+	if rep.Fig9HMUn <= rep.Fig9HMOp {
+		t.Errorf("fig9 harmonic means inverted: unopt %.2f <= opt %.2f", rep.Fig9HMUn, rep.Fig9HMOp)
+	}
+
+	for _, row := range rep.Fig10 {
+		if row.Runtime < row.Expansion {
+			t.Errorf("fig10 %s: runtime privatization (%.2f) should cost more than expansion (%.2f)",
+				row.Name, row.Runtime, row.Expansion)
+		}
+	}
+
+	// Expansion must win over runtime privatization in the speedup race
+	// for most benchmarks (paper Figures 11 vs 13).
+	wins := 0
+	for i, row := range rep.Fig11 {
+		if row.Loop[8] > rep.Fig13[i].Speedup[8] {
+			wins++
+		}
+	}
+	if wins < 6 {
+		t.Errorf("expansion outruns runtime privatization on only %d/8 benchmarks", wins)
+	}
+
+	// Memory: expansion adds little on top of privatization needs
+	// (paper Figure 14); both multiples must be >= 1.
+	for _, row := range rep.Fig14 {
+		for _, n := range rep.Threads {
+			if row.Expansion[n] < 0.99 {
+				t.Errorf("fig14 %s: expansion multiple %.2f below 1 at %d threads",
+					row.Name, row.Expansion[n], n)
+			}
+		}
+	}
+
+	out := rep.Render()
+	for _, want := range []string{"Table 4", "Table 5", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11a", "Figure 11b", "Figure 12", "Figure 13", "Figure 14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+	t.Logf("\n%s", out)
+}

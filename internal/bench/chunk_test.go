@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+
+	"gdsx/internal/workloads"
+)
+
+func TestAblationChunkSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = workloads.ProfileScale
+	h := New(cfg)
+	rows, err := h.AblationChunk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 { // 3 DOACROSS workloads x 4 chunk sizes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Chunk 1 must never lose to chunk 8 (the paper's choice).
+	for i := 0; i < len(rows); i += 4 {
+		if rows[i].Speedup8 < rows[i+3].Speedup8 {
+			t.Errorf("%s: chunk 1 (%.2f) loses to chunk 8 (%.2f)",
+				rows[i].Name, rows[i].Speedup8, rows[i+3].Speedup8)
+		}
+	}
+	t.Logf("%s", RenderChunkAblation(rows))
+}

@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"sort"
+
+	"gdsx/internal/ddg"
+	"gdsx/internal/workloads"
+)
+
+// Table4Row reproduces one row of the paper's Table 4: benchmark
+// characteristics, with the loop-time share measured on our substrate
+// next to the paper's number.
+type Table4Row struct {
+	Name, Suite, Func string
+	LOC               int
+	Level             int
+	Parallelism       string
+	TimePct           float64 // measured: loop ops / total ops
+	PaperPct          float64
+}
+
+// Table4 regenerates the benchmark characteristics table.
+func (h *Harness) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		total := d.native.Counters[0]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(loopOps(d.native)) / float64(total)
+		}
+		rows = append(rows, Table4Row{
+			Name: w.Name, Suite: w.Suite, Func: w.Func, LOC: w.LOC(),
+			Level: w.Level, Parallelism: w.Parallelism,
+			TimePct: pct, PaperPct: w.PaperTimePct,
+		})
+	}
+	return rows, nil
+}
+
+// Table5Row reproduces one row of Table 5: privatized structures.
+type Table5Row struct {
+	Name       string
+	Privatized int
+	Paper      int
+}
+
+// Table5 regenerates the privatized-structure counts.
+func (h *Harness) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, rep := range d.optTR.Reports {
+			total += rep.Structures
+		}
+		rows = append(rows, Table5Row{Name: w.Name, Privatized: total, Paper: w.PaperPrivatized})
+	}
+	return rows, nil
+}
+
+// Fig8Row is the dynamic memory-access breakdown of the candidate
+// loops (paper Figure 8), in percent.
+type Fig8Row struct {
+	Name       string
+	Free       float64 // free of loop-carried dependences
+	Expandable float64 // thread-private per Definition 5
+	Carried    float64 // residual loop-carried accesses
+}
+
+// Figure8 regenerates the access breakdown chart.
+func (h *Harness) Figure8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		var agg ddg.Breakdown
+		var loopIDs []int
+		for id := range d.optTR.Profiles {
+			loopIDs = append(loopIDs, id)
+		}
+		sort.Ints(loopIDs)
+		for _, id := range loopIDs {
+			b := ddg.BreakdownOf(d.optTR.Profiles[id].Graph, d.optTR.Classes[id])
+			agg.Free += b.Free
+			agg.Expandable += b.Expandable
+			agg.Carried += b.Carried
+			agg.Total += b.Total
+		}
+		t := float64(agg.Total)
+		if t == 0 {
+			t = 1
+		}
+		rows = append(rows, Fig8Row{
+			Name:       w.Name,
+			Free:       100 * float64(agg.Free) / t,
+			Expandable: 100 * float64(agg.Expandable) / t,
+			Carried:    100 * float64(agg.Carried) / t,
+		})
+	}
+	return rows, nil
+}
+
+// Fig9Row is the single-core slowdown of the transformed program
+// relative to native, without and with the §3.4 optimizations
+// (paper Figures 9a and 9b).
+type Fig9Row struct {
+	Name  string
+	Unopt float64
+	Opt   float64
+}
+
+// Figure9 regenerates the expansion-overhead chart. The paper reports
+// a 1.8x harmonic-mean slowdown unoptimized and below 5% optimized.
+func (h *Harness) Figure9() ([]Fig9Row, float64, float64, error) {
+	var rows []Fig9Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		n := float64(d.native.Counters[0])
+		rows = append(rows, Fig9Row{
+			Name:  w.Name,
+			Unopt: float64(d.unopt.Counters[0]) / n,
+			Opt:   float64(d.opt.Counters[0]) / n,
+		})
+	}
+	return rows, harmonic(rows, func(r Fig9Row) float64 { return r.Unopt }),
+		harmonic(rows, func(r Fig9Row) float64 { return r.Opt }), nil
+}
+
+// Fig10Row compares single-core overheads of compile-time expansion and
+// runtime privatization (paper Figure 10).
+type Fig10Row struct {
+	Name      string
+	Expansion float64 // slowdown factor
+	Runtime   float64
+}
+
+// Figure10 regenerates the expansion-vs-runtime-privatization chart.
+func (h *Harness) Figure10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(d.native.Counters[0])
+		rows = append(rows, Fig10Row{
+			Name:      w.Name,
+			Expansion: float64(d.opt.Counters[0]) / n,
+			Runtime:   float64(d.rt.Counters[0]) / n,
+		})
+	}
+	return rows, nil
+}
+
+// Fig11Row holds the simulated speedups of the expanded program over
+// native sequential execution (paper Figures 11a and 11b).
+type Fig11Row struct {
+	Name  string
+	Loop  map[int]float64 // loop speedup per thread count
+	Total map[int]float64 // whole-program speedup per thread count
+}
+
+// Figure11 regenerates the speedup curves, plus the harmonic-mean total
+// speedups per thread count (the paper reports 1.93 at 4 and 2.24 at 8).
+func (h *Harness) Figure11() ([]Fig11Row, map[int]float64, error) {
+	var rows []Fig11Row
+	hm := map[int]float64{}
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig11Row{Name: w.Name, Loop: map[int]float64{}, Total: map[int]float64{}}
+		nativeLoop := float64(loopOps(d.native))
+		nativeTotal := float64(d.native.Counters[0])
+		for _, n := range h.cfg.Threads {
+			lt, _ := h.loopTime(d.opt, n)
+			tt, err := h.totalTime(d.opt, n)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.Loop[n] = nativeLoop / float64(lt)
+			row.Total[n] = nativeTotal / float64(tt)
+		}
+		rows = append(rows, row)
+	}
+	for _, n := range h.cfg.Threads {
+		var inv float64
+		for _, r := range rows {
+			inv += 1 / r.Total[n]
+		}
+		hm[n] = float64(len(rows)) / inv
+	}
+	return rows, hm, nil
+}
+
+// Fig12Row is the loop-execution breakdown at the highest thread count
+// (paper Figure 12): useful work, scheduling/synchronization, and
+// waiting, as percentages of aggregate thread time.
+type Fig12Row struct {
+	Name    string
+	Threads int
+	Work    float64
+	Sync    float64
+	Wait    float64
+}
+
+// Figure12 regenerates the instruction-count breakdown chart.
+func (h *Harness) Figure12() ([]Fig12Row, error) {
+	n := h.cfg.Threads[len(h.cfg.Threads)-1]
+	var rows []Fig12Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		_, agg := h.loopTime(d.opt, n)
+		tot := float64(agg.Busy + agg.Sync + agg.Wait)
+		if tot == 0 {
+			tot = 1
+		}
+		rows = append(rows, Fig12Row{
+			Name: w.Name, Threads: n,
+			Work: 100 * float64(agg.Busy) / tot,
+			Sync: 100 * float64(agg.Sync) / tot,
+			Wait: 100 * float64(agg.Wait) / tot,
+		})
+	}
+	return rows, nil
+}
+
+// Fig13Row is the loop speedup achieved by runtime privatization
+// instead of expansion (paper Figure 13: nearly none).
+type Fig13Row struct {
+	Name    string
+	Speedup map[int]float64
+}
+
+// Figure13 regenerates the runtime-privatization speedup chart.
+func (h *Harness) Figure13() ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig13Row{Name: w.Name, Speedup: map[int]float64{}}
+		nativeLoop := float64(loopOps(d.native))
+		for _, n := range h.cfg.Threads {
+			lt, _ := h.loopTime(d.rt, n)
+			row.Speedup[n] = nativeLoop / float64(lt)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig14Row is the memory use of both methods as a multiple of the
+// sequential program's (paper Figure 14).
+type Fig14Row struct {
+	Name      string
+	Expansion map[int]float64
+	Runtime   map[int]float64
+}
+
+// Figure14 regenerates the memory-overhead chart.
+func (h *Harness) Figure14() ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, w := range workloads.All() {
+		d, err := h.Data(w)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig14Row{Name: w.Name, Expansion: map[int]float64{}, Runtime: map[int]float64{}}
+		base := float64(d.nativeMem)
+		for _, n := range h.cfg.Threads {
+			row.Expansion[n] = float64(d.expMem[n]) / base
+			row.Runtime[n] = float64(d.rtMem[n]) / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func harmonic[T any](rows []T, f func(T) float64) float64 {
+	var inv float64
+	for _, r := range rows {
+		inv += 1 / f(r)
+	}
+	return float64(len(rows)) / inv
+}
+
+// Threads returns the configured thread counts.
+func (h *Harness) Threads() []int { return h.cfg.Threads }

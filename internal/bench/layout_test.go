@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"gdsx/internal/workloads"
+)
+
+func TestAblationLayoutLocality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = workloads.ProfileScale
+	h := New(cfg)
+	rows, err := h.AblationLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bonded, inter := rows[0], rows[1]
+	if bonded.Layout != "bonded" || inter.Layout != "interleaved" {
+		t.Fatalf("order: %+v", rows)
+	}
+	// The interleaved layout must touch several times more cache lines
+	// (the paper's locality argument for bonded mode).
+	if inter.CacheMisses < bonded.CacheMisses*3 {
+		t.Fatalf("locality gap missing: bonded=%d interleaved=%d",
+			bonded.CacheMisses, inter.CacheMisses)
+	}
+	t.Logf("bonded misses=%d, interleaved misses=%d (%.1fx)",
+		bonded.CacheMisses, inter.CacheMisses,
+		float64(inter.CacheMisses)/float64(bonded.CacheMisses))
+}

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report bundles every regenerated table and figure.
+type Report struct {
+	Table4   []Table4Row
+	Table5   []Table5Row
+	Fig8     []Fig8Row
+	Fig9     []Fig9Row
+	Fig9HMUn float64
+	Fig9HMOp float64
+	Fig10    []Fig10Row
+	Fig11    []Fig11Row
+	Fig11HM  map[int]float64
+	Fig12    []Fig12Row
+	Fig13    []Fig13Row
+	Fig14    []Fig14Row
+	Threads  []int
+}
+
+// RunAll executes every experiment.
+func (h *Harness) RunAll() (*Report, error) {
+	r := &Report{Threads: h.cfg.Threads}
+	var err error
+	if r.Table4, err = h.Table4(); err != nil {
+		return nil, err
+	}
+	if r.Table5, err = h.Table5(); err != nil {
+		return nil, err
+	}
+	if r.Fig8, err = h.Figure8(); err != nil {
+		return nil, err
+	}
+	if r.Fig9, r.Fig9HMUn, r.Fig9HMOp, err = h.Figure9(); err != nil {
+		return nil, err
+	}
+	if r.Fig10, err = h.Figure10(); err != nil {
+		return nil, err
+	}
+	if r.Fig11, r.Fig11HM, err = h.Figure11(); err != nil {
+		return nil, err
+	}
+	if r.Fig12, err = h.Figure12(); err != nil {
+		return nil, err
+	}
+	if r.Fig13, err = h.Figure13(); err != nil {
+		return nil, err
+	}
+	if r.Fig14, err = h.Figure14(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+type table struct {
+	sb     strings.Builder
+	widths []int
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	for len(t.widths) < len(cells) {
+		t.widths = append(t.widths, 0)
+	}
+	for i, c := range cells {
+		if len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	var sb strings.Builder
+	for r, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", t.widths[i], c)
+		}
+		sb.WriteString("\n")
+		if r == 0 {
+			for i, w := range t.widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Render formats the full report as the text the paper's tables and
+// figures carry.
+func (r *Report) Render() string { return r.RenderPartial() }
+
+// RenderPartial formats whichever experiments the report carries,
+// skipping empty sections.
+func (r *Report) RenderPartial() string {
+	var sb strings.Builder
+	sec := func(title string) {
+		fmt.Fprintf(&sb, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+
+	if len(r.Table4) > 0 {
+		r.renderTable4(&sb, sec)
+	}
+	if len(r.Table5) > 0 {
+		r.renderTable5(&sb, sec)
+	}
+	if len(r.Fig8) > 0 {
+		r.renderFig8(&sb, sec)
+	}
+	if len(r.Fig9) > 0 {
+		r.renderFig9(&sb, sec)
+	}
+	if len(r.Fig10) > 0 {
+		r.renderFig10(&sb, sec)
+	}
+	if len(r.Fig11) > 0 {
+		r.renderFig11(&sb, sec)
+	}
+	if len(r.Fig12) > 0 {
+		r.renderFig12(&sb, sec)
+	}
+	if len(r.Fig13) > 0 {
+		r.renderFig13(&sb, sec)
+	}
+	if len(r.Fig14) > 0 {
+		r.renderFig14(&sb, sec)
+	}
+	return sb.String()
+}
+
+type secFn = func(string)
+
+func (r *Report) renderTable4(sb *strings.Builder, sec secFn) {
+	sec("Table 4: benchmark characteristics")
+	t := &table{}
+	t.add("benchmark", "suite", "LOC", "function", "level", "parallelism", "%time", "paper")
+	for _, row := range r.Table4 {
+		t.add(row.Name, row.Suite, fmt.Sprint(row.LOC), row.Func,
+			fmt.Sprint(row.Level), row.Parallelism, f1(row.TimePct), f1(row.PaperPct))
+	}
+	sb.WriteString(t.String())
+}
+
+func (r *Report) renderTable5(sb *strings.Builder, sec secFn) {
+	sec("Table 5: privatized dynamic data structures")
+	t := &table{}
+	t.add("benchmark", "#privatized", "paper")
+	for _, row := range r.Table5 {
+		t.add(row.Name, fmt.Sprint(row.Privatized), fmt.Sprint(row.Paper))
+	}
+	sb.WriteString(t.String())
+}
+
+func (r *Report) renderFig8(sb *strings.Builder, sec secFn) {
+	sec("Figure 8: breakdown of dynamic memory accesses (%)")
+	t := &table{}
+	t.add("benchmark", "free of carried dep", "expandable", "with carried dep")
+	for _, row := range r.Fig8 {
+		t.add(row.Name, f1(row.Free), f1(row.Expandable), f1(row.Carried))
+	}
+	sb.WriteString(t.String())
+}
+
+func (r *Report) renderFig9(sb *strings.Builder, sec secFn) {
+	sec("Figure 9: expansion overhead on one core (slowdown factor)")
+	t := &table{}
+	t.add("benchmark", "no optimizations (9a)", "with optimizations (9b)")
+	for _, row := range r.Fig9 {
+		t.add(row.Name, f2(row.Unopt), f2(row.Opt))
+	}
+	t.add("harmonic mean", f2(r.Fig9HMUn), f2(r.Fig9HMOp))
+	sb.WriteString(t.String())
+	sb.WriteString("paper: ~1.8x unoptimized, <1.05x optimized\n")
+}
+
+func (r *Report) renderFig10(sb *strings.Builder, sec secFn) {
+	sec("Figure 10: single-core overhead, expansion vs runtime privatization")
+	t := &table{}
+	t.add("benchmark", "expansion", "runtime privatization")
+	for _, row := range r.Fig10 {
+		t.add(row.Name, f2(row.Expansion), f2(row.Runtime))
+	}
+	sb.WriteString(t.String())
+}
+
+func (r *Report) hdr() []string {
+	hdr := []string{"benchmark"}
+	for _, n := range r.Threads {
+		hdr = append(hdr, fmt.Sprintf("%d thr", n))
+	}
+	return hdr
+}
+
+func (r *Report) renderFig11(sb *strings.Builder, sec secFn) {
+	sec("Figure 11a: loop speedup of the expanded program")
+	t := &table{}
+	hdr := []string{"benchmark"}
+	for _, n := range r.Threads {
+		hdr = append(hdr, fmt.Sprintf("%d thr", n))
+	}
+	t.add(hdr...)
+	for _, row := range r.Fig11 {
+		cells := []string{row.Name}
+		for _, n := range r.Threads {
+			cells = append(cells, f2(row.Loop[n]))
+		}
+		t.add(cells...)
+	}
+	sb.WriteString(t.String())
+
+	sec("Figure 11b: total program speedup of the expanded program")
+	t = &table{}
+	t.add(hdr...)
+	for _, row := range r.Fig11 {
+		cells := []string{row.Name}
+		for _, n := range r.Threads {
+			cells = append(cells, f2(row.Total[n]))
+		}
+		t.add(cells...)
+	}
+	hm := []string{"harmonic mean"}
+	for _, n := range r.Threads {
+		hm = append(hm, f2(r.Fig11HM[n]))
+	}
+	t.add(hm...)
+	sb.WriteString(t.String())
+	sb.WriteString("paper harmonic means: 1.93 at 4 cores, 2.24 at 8 cores\n")
+}
+
+func (r *Report) renderFig12(sb *strings.Builder, sec secFn) {
+	sec(fmt.Sprintf("Figure 12: loop execution breakdown at %d threads (%%)", r.Fig12[0].Threads))
+	t := &table{}
+	t.add("benchmark", "work", "sync/sched", "wait (do_wait/cpu_relax)")
+	for _, row := range r.Fig12 {
+		t.add(row.Name, f1(row.Work), f1(row.Sync), f1(row.Wait))
+	}
+	sb.WriteString(t.String())
+}
+
+func (r *Report) renderFig13(sb *strings.Builder, sec secFn) {
+	sec("Figure 13: loop speedup under runtime privatization")
+	t := &table{}
+	t.add(r.hdr()...)
+	for _, row := range r.Fig13 {
+		cells := []string{row.Name}
+		for _, n := range r.Threads {
+			cells = append(cells, f2(row.Speedup[n]))
+		}
+		t.add(cells...)
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("paper: nearly no speedup for most benchmarks\n")
+}
+
+func (r *Report) renderFig14(sb *strings.Builder, sec secFn) {
+	sec("Figure 14: memory use as a multiple of the sequential program")
+	t := &table{}
+	hdr2 := []string{"benchmark"}
+	for _, n := range r.Threads {
+		hdr2 = append(hdr2, fmt.Sprintf("exp %dT", n))
+	}
+	for _, n := range r.Threads {
+		hdr2 = append(hdr2, fmt.Sprintf("rtp %dT", n))
+	}
+	t.add(hdr2...)
+	for _, row := range r.Fig14 {
+		cells := []string{row.Name}
+		for _, n := range r.Threads {
+			cells = append(cells, f2(row.Expansion[n]))
+		}
+		for _, n := range r.Threads {
+			cells = append(cells, f2(row.Runtime[n]))
+		}
+		t.add(cells...)
+	}
+	sb.WriteString(t.String())
+}

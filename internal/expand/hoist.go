@@ -1,0 +1,166 @@
+package expand
+
+import (
+	"fmt"
+	"sort"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/sema"
+	"gdsx/internal/token"
+)
+
+// Base hoisting is the §3.4 overhead-reduction pass the paper obtains
+// from the compiler's ordinary optimizers (copy propagation / common
+// subexpression elimination): the redirected base address
+// p + __tid*span/sizeof(elem) is loop-invariant, so instead of
+// recomputing it at every access it is computed once — at the top of
+// the parallel loop body for accesses in the loop itself, or at
+// function entry for accesses in functions called from the loop (where
+// __tid still evaluates correctly, and evaluates to 0 outside any
+// parallel region). Hoisting applies only when the root pointer is not
+// reassigned inside the hoist region.
+
+// hoistKey identifies one hoisted base computation.
+type hoistKey struct {
+	fn   *ast.FuncDecl
+	body *ast.Block  // non-nil: hoist into this loop body
+	sym  *ast.Symbol // root variable
+	elem int64       // element size for pointer plans, 0 for var bases
+}
+
+type hoistInfo struct {
+	name string
+	typ  *ctypes.Type
+	init ast.Expr
+}
+
+// hoistFor returns (creating if needed) the hoisted temp for a key.
+func (p *pass) hoistFor(key hoistKey, typ *ctypes.Type, mkInit func() ast.Expr) *hoistInfo {
+	if p.hoists == nil {
+		p.hoists = map[hoistKey]*hoistInfo{}
+	}
+	if hi, ok := p.hoists[key]; ok {
+		return hi
+	}
+	p.tmpN++
+	hi := &hoistInfo{
+		name: fmt.Sprintf("__base%d", p.tmpN),
+		typ:  typ,
+		init: mkInit(),
+	}
+	p.hoists[key] = hi
+	return hi
+}
+
+// hoistSite decides where a site's base computation may be hoisted:
+// the target-loop body that lexically contains it, or its function's
+// entry. ok is false when the root is reassigned inside that region.
+func (p *pass) hoistSite(as *sema.AccessSite, root *ast.Symbol) (fn *ast.FuncDecl, body *ast.Block, ok bool) {
+	var lc *loopCtx
+	for i := range p.loops {
+		for _, id := range as.Loops {
+			if id == p.loops[i].an.ID {
+				lc = &p.loops[i]
+			}
+		}
+	}
+	if lc != nil {
+		b, isBlock := lc.stmt.Body.(*ast.Block)
+		if !isBlock {
+			return nil, nil, false
+		}
+		if root != nil && assignsTo(b, root) {
+			return nil, nil, false
+		}
+		return lc.fn, b, true
+	}
+	if as.Func == nil || as.Func.Body == nil {
+		return nil, nil, false
+	}
+	if root != nil && assignsTo(as.Func.Body, root) {
+		return nil, nil, false
+	}
+	return as.Func, nil, true
+}
+
+// assignsTo reports whether the region contains an assignment,
+// increment or declaration-with-initializer of sym (any of which would
+// invalidate a hoisted base).
+func assignsTo(region ast.Node, sym *ast.Symbol) bool {
+	found := false
+	ast.Inspect(region, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Assign:
+			if id, ok := x.LHS.(*ast.Ident); ok && id.Sym == sym {
+				found = true
+			}
+		case *ast.IncDec:
+			if id, ok := x.X.(*ast.Ident); ok && id.Sym == sym {
+				found = true
+			}
+		case *ast.VarDecl:
+			if x.Sym == sym {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// insertHoists materializes the hoisted declarations, prepending each
+// to its loop body or function body in deterministic order.
+func (p *pass) insertHoists() {
+	if len(p.hoists) == 0 {
+		return
+	}
+	type target struct {
+		fn   *ast.FuncDecl
+		body *ast.Block
+	}
+	grouped := map[target][]*hoistInfo{}
+	for key, hi := range p.hoists {
+		grouped[target{fn: key.fn, body: key.body}] = append(grouped[target{fn: key.fn, body: key.body}], hi)
+	}
+	for tgt, his := range grouped {
+		sort.Slice(his, func(i, j int) bool { return his[i].name < his[j].name })
+		var decls []ast.Stmt
+		for _, hi := range his {
+			d := &ast.VarDecl{Name: hi.name, Type: hi.typ, Init: hi.init}
+			decls = append(decls, &ast.DeclStmt{Decls: []*ast.VarDecl{d}})
+		}
+		dst := tgt.body
+		if dst == nil {
+			dst = tgt.fn.Body
+		}
+		dst.Stmts = append(decls, dst.Stmts...)
+	}
+}
+
+// cloneWithEntries clones an expression and registers the clone for
+// entry mirroring, so pending rewrites of the original (".pointer"
+// selection, copy indexing) apply to the clone too.
+func (p *pass) cloneWithEntries(e ast.Expr) ast.Expr {
+	c := ast.CloneExpr(e)
+	p.clonePairs = append(p.clonePairs, [2]ast.Expr{e, c})
+	return c
+}
+
+// hoistRootSym extracts the plain root variable of a hoistable pointer
+// child expression (bare references only, possibly cast-wrapped).
+func hoistRootSym(e ast.Expr) *ast.Symbol {
+	switch x := stripCasts(e).(type) {
+	case *ast.Ident:
+		if x.Sym != nil && (x.Sym.Kind == ast.SymLocal || x.Sym.Kind == ast.SymParam ||
+			x.Sym.Kind == ast.SymGlobal) {
+			return x.Sym
+		}
+	}
+	return nil
+}
+
+var _ = token.ASSIGN

@@ -1,0 +1,309 @@
+package expand
+
+import (
+	"fmt"
+
+	"gdsx/internal/alias"
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/sema"
+	"gdsx/internal/token"
+)
+
+// computeExpansionSet decides which data structures are expanded. With
+// AliasFilter (the §3.4 optimization) only structures reachable from
+// thread-private accesses are expanded; without it, every global, every
+// pre-loop heap site and every enclosing-function local is expanded.
+//
+// "Iteration-fresh" structures — locals declared inside the loop body
+// and heap blocks allocated during an iteration — need no expansion:
+// every iteration (and therefore every thread) works on distinct
+// storage, so a private access whose targets are all fresh is left
+// unredirected.
+func (p *pass) computeExpansionSet() error {
+	p.expandSet = map[alias.Object]bool{}
+	p.skipSites = map[int]bool{}
+
+	for _, site := range p.privateSites() {
+		as := p.in.Info.Accesses[site]
+		objs, ptrBased, err := p.accessObjects(as)
+		if err != nil {
+			return err
+		}
+		if len(objs) == 0 {
+			if ptrBased {
+				return fmt.Errorf("expand: %s: private access %q has no points-to targets", as.Pos, as.Text)
+			}
+			continue
+		}
+		fresh := 0
+		for _, o := range objs {
+			if p.isFresh(o) {
+				fresh++
+			}
+		}
+		if fresh == len(objs) {
+			// All targets are iteration-fresh: nothing to expand, no
+			// redirection needed.
+			p.skipSites[site] = true
+			continue
+		}
+		for _, o := range objs {
+			if err := p.checkExpandable(o, as); err != nil {
+				return err
+			}
+			p.expandSet[o] = true
+		}
+	}
+
+	if !p.opts.AliasFilter {
+		p.addAllStructures()
+	}
+	return nil
+}
+
+// isFresh reports whether the object is per-thread by construction: a
+// local declared inside the loop body, a local of a function other than
+// the one containing the loop (each call activates fresh storage), a
+// parallel-loop induction variable (the scheduler gives each thread a
+// private cell), or a heap site that allocates during the loop.
+func (p *pass) isFresh(o alias.Object) bool {
+	switch o.Kind {
+	case alias.ObjVar:
+		if p.indVars()[o.Sym] {
+			return true
+		}
+		if o.Sym.Kind == ast.SymGlobal {
+			return false
+		}
+		if p.bodyDecls[o.Sym] {
+			return true
+		}
+		// Locals of functions that do not lexically contain any target
+		// loop are per-invocation storage.
+		df := p.declFunc(o.Sym)
+		for _, lc := range p.loops {
+			if df == lc.fn {
+				return false
+			}
+		}
+		return true
+	case alias.ObjHeap:
+		call := p.in.Info.Allocs[o.Site]
+		if call == nil {
+			return false
+		}
+		// Allocated during some target loop (observed dynamically by
+		// the profiler via its definition site)?
+		for _, lc := range p.loops {
+			if _, in := lc.an.Graph.Defs[call.Acc.Store]; in {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// indVars returns the induction variables of every parallel loop in
+// the program; their storage is never expanded.
+func (p *pass) indVars() map[*ast.Symbol]bool {
+	if p.indVarSet == nil {
+		p.indVarSet = map[*ast.Symbol]bool{}
+		for _, l := range p.in.Info.Loops {
+			if f, ok := l.Stmt.(*ast.For); ok && f.Par != ast.Sequential && f.IndVar != nil {
+				p.indVarSet[f.IndVar] = true
+			}
+		}
+	}
+	return p.indVarSet
+}
+
+// declFunc returns the function whose body (or parameter list) declares
+// sym, or nil for globals.
+func (p *pass) declFunc(sym *ast.Symbol) *ast.FuncDecl {
+	if p.symFunc == nil {
+		p.symFunc = map[*ast.Symbol]*ast.FuncDecl{}
+		for _, f := range p.in.Prog.Funcs() {
+			fn := f
+			for _, par := range fn.Params {
+				p.symFunc[par.Sym] = fn
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if d, ok := n.(*ast.VarDecl); ok && d.Sym != nil {
+					p.symFunc[d.Sym] = fn
+				}
+				return true
+			})
+		}
+	}
+	return p.symFunc[sym]
+}
+
+// checkExpandable verifies the object can be expanded per Table 1.
+func (p *pass) checkExpandable(o alias.Object, as *sema.AccessSite) error {
+	switch o.Kind {
+	case alias.ObjVar:
+		sym := o.Sym
+		if sym.Kind == ast.SymParam {
+			return fmt.Errorf("expand: %s: cannot expand parameter %s referenced by private access %q",
+				as.Pos, sym.Name, as.Text)
+		}
+		if !sym.Type.HasStaticSize() {
+			return fmt.Errorf("expand: cannot expand dynamically sized local %s", sym.Name)
+		}
+		if sym.Kind == ast.SymGlobal && sym.Type.Kind == ctypes.Array &&
+			sym.Type.Elem.Kind == ctypes.Array {
+			// Heap conversion of a multi-dimensional global would need
+			// pointer-to-array declarators, which MiniC does not have.
+			return fmt.Errorf("expand: %s: cannot expand multi-dimensional global %s", as.Pos, sym.Name)
+		}
+		return nil
+	case alias.ObjHeap:
+		call := p.in.Info.Allocs[o.Site]
+		if call == nil {
+			return fmt.Errorf("expand: unknown allocation site %d", o.Site)
+		}
+		if call.Fun.Sym.Builtin == ast.BRealloc && !p.isFresh(o) {
+			return fmt.Errorf("expand: %s: realloc of an expanded structure is not supported", call.Pos())
+		}
+		return nil
+	case alias.ObjStr:
+		return fmt.Errorf("expand: %s: private access %q may write string storage", as.Pos, as.Text)
+	}
+	return fmt.Errorf("expand: unknown object kind")
+}
+
+// addAllStructures implements the no-alias-filter configuration: every
+// global, every static-size local of the enclosing function declared
+// outside the loop, and every heap site allocating before the loop is
+// expanded, whether or not private accesses reach it.
+func (p *pass) addAllStructures() {
+	for _, g := range p.in.Info.Globals {
+		if g.Sym.Type.Kind == ctypes.Array && g.Sym.Type.Elem.Kind == ctypes.Array {
+			continue // see checkExpandable: not convertible in MiniC
+		}
+		p.expandSet[alias.Object{Kind: alias.ObjVar, Sym: g.Sym}] = true
+	}
+	seenFn := map[*ast.FuncDecl]bool{}
+	for _, lc := range p.loops {
+		if seenFn[lc.fn] {
+			continue
+		}
+		seenFn[lc.fn] = true
+		ast.Inspect(lc.fn.Body, func(n ast.Node) bool {
+			if d, ok := n.(*ast.VarDecl); ok && d.Sym != nil &&
+				!p.bodyDecls[d.Sym] && !p.indVars()[d.Sym] && d.Sym.Type.HasStaticSize() {
+				p.expandSet[alias.Object{Kind: alias.ObjVar, Sym: d.Sym}] = true
+			}
+			return true
+		})
+	}
+	for site, call := range p.in.Info.Allocs {
+		inLoop := false
+		for _, lc := range p.loops {
+			if _, in := lc.an.Graph.Defs[call.Acc.Store]; in {
+				inLoop = true
+				break
+			}
+		}
+		if inLoop || call.Fun.Sym.Builtin == ast.BRealloc {
+			continue
+		}
+		p.expandSet[alias.Object{Kind: alias.ObjHeap, Site: site}] = true
+	}
+}
+
+// countStructures groups the expanded objects into the dynamic data
+// structures of the paper's Table 5: objects touched by one and the
+// same private access (alternative allocation sites for one pointer)
+// form a single structure.
+func (p *pass) countStructures() int {
+	parent := map[alias.Object]alias.Object{}
+	var find func(o alias.Object) alias.Object
+	find = func(o alias.Object) alias.Object {
+		q, ok := parent[o]
+		if !ok || q == o {
+			parent[o] = o
+			return o
+		}
+		r := find(q)
+		parent[o] = r
+		return r
+	}
+	for o := range p.expandSet {
+		find(o)
+	}
+	for _, site := range p.privateSites() {
+		if p.skipSites[site] {
+			continue
+		}
+		objs, _, err := p.accessObjects(p.in.Info.Accesses[site])
+		if err != nil || len(objs) < 2 {
+			continue
+		}
+		first := objs[0]
+		if !p.expandSet[first] {
+			continue
+		}
+		for _, o := range objs[1:] {
+			if p.expandSet[o] {
+				parent[find(o)] = find(first)
+			}
+		}
+	}
+	roots := map[alias.Object]bool{}
+	for o := range p.expandSet {
+		roots[find(o)] = true
+	}
+	return len(roots)
+}
+
+// accessObjects returns the data structures an access may touch: the
+// root variable for variable-based accesses, or the points-to targets
+// of the dereferenced pointer expression.
+func (p *pass) accessObjects(as *sema.AccessSite) (objs []alias.Object, ptrBased bool, err error) {
+	node, ok := as.Node.(ast.Expr)
+	if !ok {
+		return nil, false, nil // definition sites
+	}
+	base, berr := p.baseOf(node)
+	if berr != nil {
+		return nil, false, fmt.Errorf("%s: access %q: %v", as.Pos, as.Text, berr)
+	}
+	if base.varSym != nil {
+		return []alias.Object{{Kind: alias.ObjVar, Sym: base.varSym}}, false, nil
+	}
+	return p.in.Alias.PointsTo(base.ptr), true, nil
+}
+
+// baseRef describes the root of an access expression: either a named
+// variable, or a pointer expression being dereferenced.
+type baseRef struct {
+	varSym *ast.Symbol
+	ptr    ast.Expr
+}
+
+// baseOf resolves the root of an access node using the original
+// (pre-transformation) types.
+func (p *pass) baseOf(e ast.Expr) (baseRef, error) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return baseRef{varSym: x.Sym}, nil
+	case *ast.Index:
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			return p.baseOf(x.X)
+		}
+		return baseRef{ptr: x.X}, nil
+	case *ast.Member:
+		if x.Arrow {
+			return baseRef{ptr: x.X}, nil
+		}
+		return p.baseOf(x.X)
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			return baseRef{ptr: x.X}, nil
+		}
+	}
+	return baseRef{}, fmt.Errorf("unsupported access shape")
+}

@@ -1,0 +1,492 @@
+package expand
+
+import (
+	"fmt"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
+)
+
+// rewriteFuncForPromotion performs the statement-level promotion
+// rewrites in one function: splitting initializers of promoted
+// declarations, inserting Table 3 span assignments after pointer
+// assignments, materializing fat temporaries for call arguments and
+// returns, and marking whole-fat copies.
+func (p *pass) rewriteFuncForPromotion(fn *ast.FuncDecl) error {
+	var err error
+	ast.RewriteStmts(fn.Body, func(s ast.Stmt) []ast.Stmt {
+		if err != nil {
+			return []ast.Stmt{s}
+		}
+		var out []ast.Stmt
+		out, err = p.promoteStmt(fn, s)
+		if err != nil {
+			return []ast.Stmt{s}
+		}
+		return out
+	})
+	return err
+}
+
+func (p *pass) promoteStmt(fn *ast.FuncDecl, s ast.Stmt) ([]ast.Stmt, error) {
+	// Argument temporaries for calls anywhere in this statement.
+	pre, err := p.fixCallArgs(s)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x := s.(type) {
+	case *ast.DeclStmt:
+		d := x.Decls[0]
+		if d.Sym == nil || d.Init == nil {
+			break
+		}
+		sl := slot{sym: d.Sym}
+		if p.promote[sl] {
+			init := d.Init
+			d.Init = nil
+			idx := p.declIdx(d)
+			post, perr := p.pointerStore(p.slotRef(d.Sym, idx), init, sl)
+			if perr != nil {
+				return nil, fmt.Errorf("%s: %v", d.Pos(), perr)
+			}
+			return append(append(pre, s), post...), nil
+		}
+		if p.expandedVar(d.Sym) {
+			// The initializer applies to one copy; the others are only
+			// ever written before read inside the loop (Definition 5),
+			// so they can start zeroed.
+			init := d.Init
+			d.Init = nil
+			st := assign(p.slotRef(d.Sym, p.declIdx(d)), init)
+			return append(append(pre, s), st), nil
+		}
+
+	case *ast.ExprStmt:
+		switch a := x.X.(type) {
+		case *ast.Assign:
+			post, perr := p.promoteAssign(a)
+			if perr != nil {
+				return nil, fmt.Errorf("%s: %v", a.Pos(), perr)
+			}
+			return append(append(pre, s), post...), nil
+		case *ast.IncDec:
+			if sl, prom := p.promotedSlotOf(a.X); prom {
+				// p++ leaves the span unchanged; without dead-store
+				// elimination the paper's pass still emits the
+				// redundant p.span = p.span (§3.4).
+				if !p.opts.SpanDSE {
+					p.report.SpanStores++
+					self := p.spanRefOfLHS(a.X, sl)
+					if self != nil {
+						return append(append(pre, s), assign(self, ast.CloneExpr(self))), nil
+					}
+				} else {
+					p.report.SpanStoresElided++
+				}
+			}
+		}
+
+	case *ast.Return:
+		if x.X == nil {
+			break
+		}
+		if !p.promote[slot{fn: fn}] {
+			break
+		}
+		if sl, prom := p.promotedSlotOf(stripCasts(x.X)); prom {
+			_ = sl
+			x.X = stripCasts(x.X)
+			p.markBare(x.X)
+			break
+		}
+		// Materialize a fat temporary.
+		tmp, stmts, terr := p.fatTemp(fn.Ret, x.X)
+		if terr != nil {
+			return nil, fmt.Errorf("%s: return: %v", x.Pos(), terr)
+		}
+		x.X = tmp
+		p.markBare(tmp)
+		return append(append(pre, stmts...), s), nil
+	}
+	return append(pre, s), nil
+}
+
+// declIdx returns the copy index for the initializer of a declared
+// variable: __tid inside the parallel loop body, 0 outside. For
+// non-expanded variables the index is irrelevant.
+func (p *pass) declIdx(d *ast.VarDecl) ast.Expr {
+	if !p.expandedVar(d.Sym) {
+		return nil
+	}
+	if p.bodyDecls[d.Sym] {
+		return tidExpr()
+	}
+	return intLit(0)
+}
+
+// promoteAssign handles `lhs = rhs` and compound assignments whose LHS
+// is a promoted slot, returning the Table 3 span statements.
+func (p *pass) promoteAssign(a *ast.Assign) ([]ast.Stmt, error) {
+	sl, prom := p.promotedSlotOf(a.LHS)
+	if !prom {
+		return nil, nil
+	}
+	if a.Op != token.ASSIGN {
+		// p += i: pointer moves inside the same object.
+		if !p.opts.SpanDSE {
+			p.report.SpanStores++
+			self := p.spanRefOfLHS(a.LHS, sl)
+			if self != nil {
+				return []ast.Stmt{assign(self, ast.CloneExpr(self))}, nil
+			}
+			return nil, nil
+		}
+		p.report.SpanStoresElided++
+		return nil, nil
+	}
+
+	// Whole-fat copy: p = q with q itself a promoted slot reference of
+	// the same fat type (a recast like (short*)zptr must instead copy
+	// fieldwise, casting the pointer field).
+	rhs := stripCasts(a.RHS)
+	if rsl, rprom := p.promotedSlotOf(rhs); rprom && p.slotFatType(rsl) == p.slotFatType(sl) {
+		a.RHS = rhs
+		p.markBare(a.LHS)
+		p.markBare(rhs)
+		return nil, nil
+	}
+	// Whole-fat copy from a promoted-return call.
+	if call, ok := rhs.(*ast.Call); ok && call.Fun.Sym != nil && call.Fun.Sym.Kind == ast.SymFunc {
+		fsl := slot{fn: call.Fun.Sym.Fn}
+		if p.promote[fsl] && p.slotFatType(fsl) == p.slotFatType(sl) {
+			a.RHS = rhs
+			p.markBare(a.LHS)
+			return nil, nil
+		}
+	}
+
+	spanLHS := p.spanRefOfLHS(a.LHS, sl)
+	if spanLHS == nil {
+		return nil, fmt.Errorf("unsupported span target %q", ast.PrintExpr(a.LHS))
+	}
+	spanRHS, elide, err := p.spanExpr(a.RHS, sl)
+	if err != nil {
+		return nil, err
+	}
+	if elide && p.opts.SpanDSE {
+		p.report.SpanStoresElided++
+		return nil, nil
+	}
+	p.report.SpanStores++
+	return []ast.Stmt{assign(spanLHS, spanRHS)}, nil
+}
+
+// slotFatType returns the fat struct type a promoted slot now has
+// (valid after mutatePromotedDecls).
+func (p *pass) slotFatType(s slot) *ctypes.Type {
+	switch {
+	case s.sym != nil:
+		return s.sym.Type
+	case s.field != nil:
+		return s.field.Type
+	case s.fn != nil:
+		return s.fn.Ret
+	}
+	return nil
+}
+
+// pointerStore builds `ref.pointer = rhs; ref.span = span(rhs);` for a
+// promoted destination reference built by slotRef.
+func (p *pass) pointerStore(ref ast.Expr, rhs ast.Expr, sl slot) ([]ast.Stmt, error) {
+	// Whole-fat sources of the same fat type copy directly.
+	bare := stripCasts(rhs)
+	if rsl, rprom := p.promotedSlotOf(bare); rprom && p.slotFatType(rsl) == p.slotFatType(sl) {
+		p.markBare(bare)
+		return []ast.Stmt{assign(ref, bare)}, nil
+	}
+	if call, ok := bare.(*ast.Call); ok && call.Fun.Sym != nil &&
+		call.Fun.Sym.Kind == ast.SymFunc {
+		fsl := slot{fn: call.Fun.Sym.Fn}
+		if p.promote[fsl] && p.slotFatType(fsl) == p.slotFatType(sl) {
+			return []ast.Stmt{assign(ref, bare)}, nil
+		}
+	}
+	spanRHS, _, err := p.spanExpr(rhs, sl)
+	if err != nil {
+		return nil, err
+	}
+	p.report.SpanStores++
+	return []ast.Stmt{
+		assign(member(cloneGenerated(ref), "pointer"), rhs),
+		assign(member(cloneGenerated(ref), "span"), spanRHS),
+	}, nil
+}
+
+// fatTemp declares a fat temporary initialized from a raw pointer
+// expression (used for promoted returns and arguments).
+func (p *pass) fatTemp(ft *ctypes.Type, rhs ast.Expr) (*ast.Ident, []ast.Stmt, error) {
+	p.tmpN++
+	name := fmt.Sprintf("__fat_tmp%d", p.tmpN)
+	decl := &ast.VarDecl{Name: name, Type: ft}
+	ds := &ast.DeclStmt{Decls: []*ast.VarDecl{decl}}
+	spanRHS, _, err := p.spanExpr(rhs, slot{})
+	if err != nil {
+		return nil, nil, err
+	}
+	p.report.SpanStores++
+	stmts := []ast.Stmt{
+		ds,
+		assign(member(ident(name), "pointer"), rhs),
+		assign(member(ident(name), "span"), spanRHS),
+	}
+	return ident(name), stmts, nil
+}
+
+// fixCallArgs rewrites arguments passed to promoted parameters: bare
+// promoted references pass the whole fat value; anything else is
+// materialized into a fat temporary before the statement.
+func (p *pass) fixCallArgs(s ast.Stmt) ([]ast.Stmt, error) {
+	var pre []ast.Stmt
+	var err error
+	ast.Inspect(s, func(n ast.Node) bool {
+		if err != nil {
+			return false
+		}
+		// Do not descend into nested statements: RewriteStmts visits
+		// them separately.
+		switch n.(type) {
+		case *ast.Block, *ast.If, *ast.For, *ast.While, *ast.DoWhile:
+			if n != s {
+				return false
+			}
+		}
+		call, ok := n.(*ast.Call)
+		if !ok || call.Fun.Sym == nil || call.Fun.Sym.Kind != ast.SymFunc {
+			return true
+		}
+		callee := call.Fun.Sym.Fn
+		for i, arg := range call.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			psl := slot{sym: callee.Params[i].Sym}
+			if !p.promote[psl] {
+				continue
+			}
+			bare := stripCasts(arg)
+			if _, prom := p.promotedSlotOf(bare); prom {
+				call.Args[i] = bare
+				p.markBare(bare)
+				continue
+			}
+			if c, ok := bare.(*ast.Call); ok && c.Fun.Sym != nil &&
+				c.Fun.Sym.Kind == ast.SymFunc && p.promote[slot{fn: c.Fun.Sym.Fn}] {
+				call.Args[i] = bare
+				continue
+			}
+			ft := callee.Params[i].Sym.Type // already fat
+			tmp, stmts, terr := p.fatTemp(ft, arg)
+			if terr != nil {
+				err = fmt.Errorf("%s: argument %d of %s: %v", call.Pos(), i+1, callee.Name, terr)
+				return false
+			}
+			pre = append(pre, stmts...)
+			call.Args[i] = tmp
+			p.markBare(tmp)
+		}
+		return true
+	})
+	return pre, err
+}
+
+// ---------------------------------------------------------------------
+// Span expressions (paper Table 3)
+// ---------------------------------------------------------------------
+
+// spanExpr derives the span of a right-hand side assigned to a promoted
+// pointer. elide reports that the span provably does not change
+// (p = p ± i), enabling the §3.4 dead-store elimination.
+func (p *pass) spanExpr(rhs ast.Expr, lhs slot) (e ast.Expr, elide bool, err error) {
+	switch x := stripCasts(rhs).(type) {
+	case *ast.IntLit:
+		if x.Value == 0 {
+			return intLit(0), false, nil
+		}
+	case *ast.StringLit:
+		return intLit(int64(len(x.Value)) + 1), false, nil
+	case *ast.Unary:
+		if x.Op == token.AND {
+			// Table 3 "address taken": sizeof the whole variable, or
+			// the whole struct for &s.f.
+			return p.addrSpan(x.X)
+		}
+	case *ast.Call:
+		switch x.Fun.Sym.Builtin {
+		case ast.BMalloc, ast.BRealloc:
+			return p.cloneSpanRef(x.Args[len(x.Args)-1]), false, nil
+		case ast.BCalloc:
+			return mul(p.cloneSpanRef(x.Args[0]), p.cloneSpanRef(x.Args[1])), false, nil
+		}
+	case *ast.Ident, *ast.Member:
+		if sl, prom := p.promotedSlotOf(x); prom {
+			ref := p.spanRefOfLHS(x, sl)
+			if ref == nil {
+				return nil, false, fmt.Errorf("unsupported span source %q", ast.PrintExpr(x))
+			}
+			return ref, sl == lhs, nil
+		}
+		if S, ok := p.constSpanOfExpr(x); ok && p.opts.ConstSpan {
+			return intLit(S), false, nil
+		}
+	case *ast.Binary:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			// Table 3 pointer arithmetic: the span follows the pointer
+			// operand.
+			if t := x.X.ExprType(); t != nil && (t.Kind == ctypes.Ptr || t.Kind == ctypes.Array) {
+				return p.spanExpr(x.X, lhs)
+			}
+			if t := x.Y.ExprType(); t != nil && (t.Kind == ctypes.Ptr || t.Kind == ctypes.Array) {
+				return p.spanExpr(x.Y, lhs)
+			}
+		}
+	case *ast.Cond:
+		// p = c ? a : b: the span follows the selected arm. The
+		// condition is re-evaluated for the span store; MiniC
+		// conditions here are side-effect-free selections.
+		thenE, _, err := p.spanExpr(x.Then, lhs)
+		if err != nil {
+			return nil, false, err
+		}
+		elseE, _, err := p.spanExpr(x.Else, lhs)
+		if err != nil {
+			return nil, false, err
+		}
+		return &ast.Cond{C: p.cloneSpanRef(x.C), Then: thenE, Else: elseE}, false, nil
+	}
+	if S, ok := p.constSpanOfExpr(rhs); ok {
+		return intLit(S), false, nil
+	}
+	return nil, false, fmt.Errorf("cannot derive span of %q", ast.PrintExpr(rhs))
+}
+
+// addrSpan implements Table 3's address-taken rules.
+func (p *pass) addrSpan(lv ast.Expr) (ast.Expr, bool, error) {
+	switch x := lv.(type) {
+	case *ast.Ident:
+		if x.Sym != nil && x.Sym.Type.HasStaticSize() {
+			return intLit(x.Sym.Type.Size()), false, nil
+		}
+	case *ast.Member:
+		// &s.f: the span covers the whole structure.
+		var owner *ctypes.Type
+		if x.Arrow {
+			if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Ptr {
+				owner = bt.Elem
+			}
+		} else {
+			owner = x.X.ExprType()
+		}
+		if owner != nil && owner.Kind == ctypes.Struct {
+			return intLit(owner.Size()), false, nil
+		}
+	case *ast.Index:
+		// &a[i]: span of the underlying object.
+		base, err := p.baseOf(x)
+		if err == nil && base.varSym != nil && base.varSym.Type.HasStaticSize() {
+			return intLit(base.varSym.Type.Size()), false, nil
+		}
+		if err == nil && base.ptr != nil {
+			return p.spanExpr(base.ptr, slot{})
+		}
+	}
+	return nil, false, fmt.Errorf("cannot derive span of address expression %q", ast.PrintExpr(lv))
+}
+
+// spanRefOfLHS builds a fresh reference to the span field of a promoted
+// slot reference. Supported shapes: p, s.f and q->f (with q not itself
+// subject to redirection).
+func (p *pass) spanRefOfLHS(ref ast.Expr, sl slot) ast.Expr {
+	switch x := ref.(type) {
+	case *ast.Ident:
+		idx := ast.Expr(nil)
+		if p.expandedVar(x.Sym) {
+			idx = p.idxExprFor(p.siteIdx[x])
+		}
+		return member(p.slotRefNamed(x.Name, idx), "span")
+	case *ast.Member:
+		switch b := x.X.(type) {
+		case *ast.Ident:
+			if b.Sym == nil {
+				return nil
+			}
+			if x.Arrow {
+				if _, prom := p.promotedSlotOf(b); prom {
+					// q->f with q promoted: q.pointer->f.span.
+					base := member(ident(b.Name), "pointer")
+					m := &ast.Member{X: base, Name: x.Name, Arrow: true}
+					return member(m, "span")
+				}
+				if p.expandedVar(b.Sym) {
+					return nil
+				}
+				m := &ast.Member{X: ident(b.Name), Name: x.Name, Arrow: true}
+				return member(m, "span")
+			}
+			var base ast.Expr = ident(b.Name)
+			if p.expandedVar(b.Sym) {
+				base = index(base, p.idxExprFor(p.siteIdx[b]))
+			}
+			m := &ast.Member{X: base, Name: x.Name}
+			return member(m, "span")
+		}
+	}
+	return nil
+}
+
+// slotRef builds a fresh reference to a (possibly expanded) variable,
+// indexed by idx when expanded.
+func (p *pass) slotRef(sym *ast.Symbol, idx ast.Expr) ast.Expr {
+	return p.slotRefNamed(sym.Name, idxOrNil(idx, p.expandedVar(sym)))
+}
+
+func idxOrNil(idx ast.Expr, expanded bool) ast.Expr {
+	if !expanded {
+		return nil
+	}
+	if idx == nil {
+		return intLit(0)
+	}
+	return idx
+}
+
+func (p *pass) slotRefNamed(name string, idx ast.Expr) ast.Expr {
+	var e ast.Expr = ident(name)
+	if idx != nil {
+		e = index(e, idx)
+	}
+	return e
+}
+
+// expandedVar reports whether a variable's storage is in the expansion
+// set.
+func (p *pass) expandedVar(sym *ast.Symbol) bool {
+	if sym == nil {
+		return false
+	}
+	return p.expandSet[objVar(sym)]
+}
+
+// cloneSpanRef deep-copies an expression used inside generated span
+// statements. The clone is registered for entry mirroring so rewrites
+// of the original (copy indexing, pointer selection) also apply to it.
+func (p *pass) cloneSpanRef(e ast.Expr) ast.Expr {
+	c := ast.CloneExpr(e)
+	p.clonePairs = append(p.clonePairs, [2]ast.Expr{e, c})
+	return c
+}
+
+// cloneGenerated deep-copies generated reference trees (they contain
+// no original nodes, so replacement sweeps ignore them by design).
+func cloneGenerated(e ast.Expr) ast.Expr { return ast.CloneExpr(e) }

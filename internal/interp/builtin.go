@@ -1,0 +1,119 @@
+package interp
+
+import (
+	"math"
+
+	"gdsx/internal/ast"
+)
+
+// evalCall dispatches user function calls and runtime builtins.
+func (t *thread) evalCall(f *frame, x *ast.Call) value {
+	sym := x.Fun.Sym
+	if sym.Kind == ast.SymFunc {
+		args := make([]value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = convert(t.eval(f, a), a.ExprType(), sym.Type.Params[i])
+		}
+		return t.call(sym.Fn, args, x.Pos())
+	}
+
+	arg := func(i int) value { return t.eval(f, x.Args[i]) }
+
+	// allocDef reports the definition of a fresh heap block to the
+	// profiler (see AccessSite.IsDef).
+	allocDef := func(base, size int64) {
+		if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
+			h.Store(x.Acc.Store, base, size)
+		}
+	}
+
+	switch sym.Builtin {
+	case ast.BMalloc:
+		n := arg(0).I
+		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		if err != nil {
+			rterrf(x.Pos(), "%v", err)
+		}
+		allocDef(a, n)
+		return iv(a)
+	case ast.BCalloc:
+		n := arg(0).I * arg(1).I
+		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		if err != nil {
+			rterrf(x.Pos(), "%v", err)
+		}
+		allocDef(a, n)
+		return iv(a)
+	case ast.BRealloc:
+		p := arg(0).I
+		n := arg(1).I
+		if h := t.m.opts.Hooks; h != nil && h.Free != nil && p != 0 {
+			h.Free(p)
+		}
+		a, err := t.m.mem.Realloc(p, n, x.AllocSite)
+		if err != nil {
+			rterrf(x.Pos(), "%v", err)
+		}
+		allocDef(a, n)
+		return iv(a)
+	case ast.BFree:
+		p := arg(0).I
+		if h := t.m.opts.Hooks; h != nil && h.Free != nil && p != 0 {
+			h.Free(p)
+		}
+		if err := t.m.mem.Free(p); err != nil {
+			rterrf(x.Pos(), "%v", err)
+		}
+		return value{}
+	case ast.BMemset:
+		p, v, n := arg(0).I, arg(1).I, arg(2).I
+		if n > 0 {
+			t.m.mem.Memset(p, byte(v), n)
+		}
+		return value{}
+	case ast.BMemcpy:
+		d, s, n := arg(0).I, arg(1).I, arg(2).I
+		if n > 0 {
+			t.m.mem.Memcpy(d, s, n)
+		}
+		return value{}
+	case ast.BPrintInt:
+		t.m.printf("%d", arg(0).I)
+		return value{}
+	case ast.BPrintLong:
+		t.m.printf("%d", arg(0).I)
+		return value{}
+	case ast.BPrintDouble:
+		t.m.printf("%.6f", toFloat(arg(0), x.Args[0].ExprType()))
+		return value{}
+	case ast.BPrintChar:
+		t.m.printf("%c", rune(arg(0).I))
+		return value{}
+	case ast.BPrintStr:
+		p := arg(0).I
+		// Read up to the NUL terminator.
+		var bs []byte
+		for {
+			b := byte(t.m.mem.Load(p, 1))
+			if b == 0 {
+				break
+			}
+			bs = append(bs, b)
+			p++
+		}
+		t.m.printf("%s", bs)
+		return value{}
+	case ast.BSqrt:
+		return fv(math.Sqrt(toFloat(arg(0), x.Args[0].ExprType())))
+	case ast.BFabs:
+		return fv(math.Abs(toFloat(arg(0), x.Args[0].ExprType())))
+	case ast.BAbs:
+		v := arg(0).I
+		if v < 0 {
+			v = -v
+		}
+		return iv(v)
+	}
+	rterrf(x.Pos(), "unknown builtin %s", sym.Name)
+	return value{}
+}

@@ -1,0 +1,327 @@
+package interp
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+)
+
+// ctrl is the control-flow outcome of executing a statement.
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// orderState carries the cross-thread ordering of a DOACROSS loop's
+// ordered section: ticket is the iteration currently allowed in.
+type orderState struct {
+	ticket atomic.Int64
+}
+
+func (t *thread) execBlock(f *frame, b *ast.Block) ctrl {
+	mark := t.sp
+	for _, s := range b.Stmts {
+		if c := t.exec(f, s); c != ctrlNext {
+			t.sp = mark
+			return c
+		}
+	}
+	t.sp = mark
+	return ctrlNext
+}
+
+func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
+	t.counters[CatWork]++
+	if max := t.m.opts.MaxOps; max > 0 && t.counters[CatWork] > max {
+		rterrf(s.Pos(), "operation budget exceeded (%d ops)", max)
+	}
+	switch x := s.(type) {
+	case *ast.Block:
+		return t.execBlock(f, x)
+
+	case *ast.DeclStmt:
+		for _, d := range x.Decls {
+			t.execDecl(f, d)
+		}
+		return ctrlNext
+
+	case *ast.ExprStmt:
+		t.eval(f, x.X)
+		return ctrlNext
+
+	case *ast.If:
+		if truth(t.eval(f, x.Cond), x.Cond.ExprType()) {
+			return t.exec(f, x.Then)
+		}
+		if x.Else != nil {
+			return t.exec(f, x.Else)
+		}
+		return ctrlNext
+
+	case *ast.While:
+		h := t.m.opts.Hooks
+		if h != nil && t.isMain && h.LoopEnter != nil {
+			h.LoopEnter(x.ID)
+		}
+		var iter int64
+		for {
+			// The iteration hook fires before the condition so the
+			// profiler attributes condition loads to the iteration
+			// they guard (see package profile).
+			if h != nil && t.isMain && h.LoopIter != nil {
+				h.LoopIter(x.ID, iter)
+			}
+			iter++
+			if !truth(t.eval(f, x.Cond), x.Cond.ExprType()) {
+				break
+			}
+			c := t.exec(f, x.Body)
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c
+			}
+		}
+		if h != nil && t.isMain && h.LoopExit != nil {
+			h.LoopExit(x.ID)
+		}
+		return ctrlNext
+
+	case *ast.DoWhile:
+		h := t.m.opts.Hooks
+		if h != nil && t.isMain && h.LoopEnter != nil {
+			h.LoopEnter(x.ID)
+		}
+		var iter int64
+		for {
+			if h != nil && t.isMain && h.LoopIter != nil {
+				h.LoopIter(x.ID, iter)
+			}
+			iter++
+			c := t.exec(f, x.Body)
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c
+			}
+			if !truth(t.eval(f, x.Cond), x.Cond.ExprType()) {
+				break
+			}
+		}
+		if h != nil && t.isMain && h.LoopExit != nil {
+			h.LoopExit(x.ID)
+		}
+		return ctrlNext
+
+	case *ast.For:
+		if x.Par != ast.Sequential && !t.parallel && t.ts == nil {
+			if t.m.opts.TraceParallel {
+				return t.execTracedFor(f, x)
+			}
+			if (t.m.opts.NumThreads > 1 || t.m.opts.ParallelizeSingle) && !t.m.opts.ForceSequential {
+				t.runParallelFor(f, x)
+				return ctrlNext
+			}
+		}
+		return t.execSeqFor(f, x)
+
+	case *ast.Return:
+		if x.X != nil {
+			t.retVal = convert(t.eval(f, x.X), x.X.ExprType(), f.fn.Ret)
+		} else {
+			t.retVal = value{}
+		}
+		return ctrlReturn
+
+	case *ast.Break:
+		return ctrlBreak
+
+	case *ast.Continue:
+		return ctrlContinue
+
+	case *ast.SyncWait:
+		t.syncWait()
+		return ctrlNext
+
+	case *ast.SyncPost:
+		t.syncPost()
+		return ctrlNext
+	}
+	rterrf(s.Pos(), "cannot execute statement")
+	return ctrlNext
+}
+
+func (t *thread) execDecl(f *frame, d *ast.VarDecl) {
+	size := int64(0)
+	ty := d.Type
+	if d.VLALen != nil {
+		n := t.eval(f, d.VLALen).I
+		if n < 0 {
+			rterrf(d.Pos(), "negative array length %d for %s", n, d.Name)
+		}
+		elem := ty.Elem.Size()
+		size = n * elem
+		if size == 0 {
+			size = 1
+		}
+	} else {
+		size = ty.Size()
+	}
+	a := t.alloca(size, d.Pos())
+	f.slots[d.Sym.Index] = a
+	// The declaration defines a fresh zeroed object; report it to the
+	// profiler so reused stack addresses carry no stale history.
+	if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
+		h.Store(d.Acc.Store, a, size)
+	}
+	if d.Init != nil {
+		if ty.Kind == ctypes.Struct {
+			src := t.eval(f, d.Init).I
+			t.m.mem.Memcpy(a, src, ty.Size())
+		} else {
+			v := convert(t.eval(f, d.Init), d.Init.ExprType(), ty)
+			t.storeTyped(a, ty, v)
+		}
+	}
+}
+
+// execSeqFor runs a for loop sequentially (also used for parallel
+// loops under one thread or ForceSequential).
+func (t *thread) execSeqFor(f *frame, x *ast.For) ctrl {
+	mark := t.sp
+	defer func() { t.sp = mark }()
+	if x.Init != nil {
+		if c := t.exec(f, x.Init); c != ctrlNext {
+			return c
+		}
+	}
+	h := t.m.opts.Hooks
+	if h != nil && t.isMain && h.LoopEnter != nil {
+		h.LoopEnter(x.ID)
+	}
+	var iter int64
+	for {
+		// Fire the iteration hook before the condition so the profiler
+		// attributes condition and post-expression accesses to the
+		// iteration they belong to (see package profile).
+		if h != nil && t.isMain && h.LoopIter != nil {
+			h.LoopIter(x.ID, iter)
+		}
+		if x.Cond != nil && !truth(t.eval(f, x.Cond), x.Cond.ExprType()) {
+			break
+		}
+		// A sequentially executed DOACROSS body still runs its
+		// SyncWait/SyncPost statements; they are no-ops without an
+		// order (syncWait checks t.order first). Crucially, no
+		// bookkeeping may happen here: this path also executes nested
+		// parallel loops inside a worker's iteration, and touching
+		// t.curIter would corrupt the worker's ordered-section ticket.
+		iter++
+		c := t.exec(f, x.Body)
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return c
+		}
+		if x.Post != nil {
+			t.eval(f, x.Post)
+		}
+	}
+	if h != nil && t.isMain && h.LoopExit != nil {
+		h.LoopExit(x.ID)
+	}
+	return ctrlNext
+}
+
+// execTracedFor executes a parallel loop sequentially while recording
+// the per-iteration cost trace the schedule simulator replays.
+func (t *thread) execTracedFor(f *frame, x *ast.For) ctrl {
+	tr := &LoopTrace{LoopID: x.ID, Kind: x.Par}
+	t.ts = &traceState{trace: tr}
+	if h := t.m.opts.Hooks; h != nil && h.ParallelStart != nil {
+		h.ParallelStart(x.ID, t.m.opts.NumThreads)
+	}
+	defer func() {
+		t.ts = nil
+		t.m.traces = append(t.m.traces, tr)
+		if h := t.m.opts.Hooks; h != nil && h.ParallelEnd != nil {
+			h.ParallelEnd(x.ID)
+		}
+	}()
+
+	mark := t.sp
+	defer func() { t.sp = mark }()
+	if x.Init != nil {
+		if c := t.exec(f, x.Init); c != ctrlNext {
+			return c
+		}
+	}
+	var iter int64
+	for {
+		if x.Cond != nil && !truth(t.eval(f, x.Cond), x.Cond.ExprType()) {
+			break
+		}
+		t.curIter = iter
+		t.posted = false
+		iter++
+		t.ts.beginIter(t)
+		c := t.exec(f, x.Body)
+		t.ts.endIter(t)
+		if c == ctrlBreak {
+			break
+		}
+		if c == ctrlReturn {
+			return c
+		}
+		if x.Post != nil {
+			t.eval(f, x.Post)
+		}
+	}
+	return ctrlNext
+}
+
+// syncWait blocks until all earlier iterations have posted. Outside a
+// parallel DOACROSS execution it is a no-op.
+func (t *thread) syncWait() {
+	if t.ts != nil {
+		t.ts.waitMark = t.counters[CatWork]
+		return
+	}
+	if t.order == nil {
+		return
+	}
+	t.counters[CatSync]++
+	spins := int64(0)
+	for t.order.ticket.Load() != t.curIter {
+		spins++
+		if spins&63 == 0 {
+			runtime.Gosched()
+		}
+	}
+	t.counters[CatWait] += spins
+}
+
+// syncPost releases the next iteration's ordered section.
+func (t *thread) syncPost() {
+	if t.ts != nil {
+		t.ts.postMark = t.counters[CatWork]
+		t.posted = true
+		return
+	}
+	if t.order == nil {
+		t.posted = true
+		return
+	}
+	t.counters[CatSync]++
+	t.order.ticket.Store(t.curIter + 1)
+	t.posted = true
+}

@@ -1,0 +1,253 @@
+// Package interp executes MiniC programs against the simulated memory.
+// It is the testbed substrate of the reproduction: sequential runs
+// drive the dependence profiler, and parallel loops run with one
+// goroutine per simulated thread over the shared address space, so the
+// effect of the expansion transformation on wall-clock time, memory use
+// and instruction counts is directly measurable.
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/mem"
+	"gdsx/internal/sema"
+	"gdsx/internal/token"
+)
+
+// Counter categories for the instruction breakdown (paper Figure 12).
+const (
+	CatWork = iota // ordinary program operations
+	CatSync        // scheduler operations: iteration dispatch, post
+	CatWait        // spin iterations in ordered-section waits (cpu_relax)
+	NumCats
+)
+
+// CatNames names the counter categories.
+var CatNames = [NumCats]string{"work", "sync", "wait"}
+
+// Hooks intercept the interpreter for profiling and for the
+// runtime-privatization baseline. All fields are optional.
+type Hooks struct {
+	// Load and Store observe every memory access executed on the main
+	// thread (sequential execution), keyed by access-site ID.
+	Load  func(site int, addr int64, size int64)
+	Store func(site int, addr int64, size int64)
+	// LoopEnter/LoopIter/LoopExit observe loop execution on the main
+	// thread. LoopIter is called before each iteration with a 0-based
+	// iteration number.
+	LoopEnter func(loopID int)
+	LoopIter  func(loopID int, iter int64)
+	LoopExit  func(loopID int)
+	// Redirect, when set, may return a replacement address for a memory
+	// access executed by any thread (the runtime-privatization access
+	// monitor), plus the simulated op cost of the monitoring work it
+	// performed. It runs on the accessing thread.
+	Redirect func(site int, addr int64, size int64, tid int) (int64, int64)
+	// Free observes heap frees (including the implicit free of realloc),
+	// so privatization runtimes can invalidate per-thread copies.
+	Free func(base int64)
+	// ParallelStart/ParallelEnd bracket a parallel loop execution.
+	ParallelStart func(loopID, nthreads int)
+	ParallelEnd   func(loopID int)
+}
+
+// Options configure a Machine.
+type Options struct {
+	// NumThreads is the simulated thread count N. 1 means sequential.
+	NumThreads int
+	// MemSize is the simulated memory capacity in bytes (default 64 MiB).
+	MemSize int64
+	// StackSize is the per-thread stack size in bytes (default 1 MiB).
+	StackSize int64
+	// Hooks intercept execution (may be nil).
+	Hooks *Hooks
+	// ForceSequential runs parallel-annotated loops sequentially (used
+	// to measure transformed-code overhead on one core, Figure 9).
+	ForceSequential bool
+	// TraceParallel executes parallel loops sequentially while
+	// recording per-iteration cost traces for the schedule simulator
+	// (package schedule). Implies sequential execution.
+	TraceParallel bool
+	// ParallelizeSingle runs the parallel-loop machinery (worker
+	// spawning, region hooks) even with one thread, so runtime
+	// monitors engage for single-thread overhead measurements.
+	ParallelizeSingle bool
+	// MaxOps aborts the run once the main thread has executed this
+	// many operations (0 = unlimited): a runaway guard for untrusted
+	// programs.
+	MaxOps int64
+}
+
+func (o *Options) fill() {
+	if o.NumThreads <= 0 {
+		o.NumThreads = 1
+	}
+	if o.MemSize <= 0 {
+		o.MemSize = 64 << 20
+	}
+	if o.StackSize <= 0 {
+		o.StackSize = 1 << 20
+	}
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	Exit     int64
+	Output   string
+	Counters [NumCats]int64
+	MemStats mem.Stats
+	// MemOps is the number of memory accesses executed.
+	MemOps int64
+	// Traces holds one entry per parallel-loop instance when the
+	// machine ran with TraceParallel.
+	Traces []*LoopTrace
+}
+
+// Machine executes one MiniC program.
+type Machine struct {
+	prog *ast.Program
+	info *sema.Info
+	opts Options
+	mem  *mem.Memory
+
+	globalAddr []int64
+	strMu      sync.Mutex
+	strings    map[string]int64
+
+	outMu sync.Mutex
+	out   bytes.Buffer
+
+	counters [NumCats]int64
+	memOps   int64
+	ctrMu    sync.Mutex
+
+	traces []*LoopTrace
+
+	inParallel bool
+}
+
+// New creates a machine for the checked program.
+func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
+	opts.fill()
+	return &Machine{
+		prog:    prog,
+		info:    info,
+		opts:    opts,
+		mem:     mem.New(opts.MemSize),
+		strings: map[string]int64{},
+	}
+}
+
+// Mem exposes the simulated memory (used by hooks and tests).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// Info returns the semantic tables for the program being run.
+func (m *Machine) Info() *sema.Info { return m.info }
+
+// NumThreads returns the configured simulated thread count.
+func (m *Machine) NumThreads() int { return m.opts.NumThreads }
+
+// runtimeError aborts execution; Run recovers it into an error.
+type runtimeError struct {
+	pos token.Pos
+	msg string
+}
+
+func (e runtimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.pos, e.msg) }
+
+func rterrf(pos token.Pos, format string, args ...any) {
+	panic(runtimeError{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the program's main function and returns its result.
+func (m *Machine) Run() (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(runtimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := m.initGlobals(); err != nil {
+		return Result{}, err
+	}
+	t, terr := m.newThread(0)
+	if terr != nil {
+		return Result{}, terr
+	}
+	mainFn := m.prog.Func("main")
+	ret := t.call(mainFn, nil, mainFn.Pos())
+	m.mergeCounters(t)
+	res = Result{
+		Exit:     ret.I,
+		Output:   m.out.String(),
+		Counters: m.counters,
+		MemStats: m.mem.Stats(),
+		MemOps:   m.memOps,
+		Traces:   m.traces,
+	}
+	return res, nil
+}
+
+func (m *Machine) mergeCounters(t *thread) {
+	m.ctrMu.Lock()
+	for i := 0; i < NumCats; i++ {
+		m.counters[i] += t.counters[i]
+	}
+	m.memOps += t.memOps
+	m.ctrMu.Unlock()
+}
+
+func (m *Machine) initGlobals() error {
+	m.globalAddr = make([]int64, len(m.info.Globals))
+	for i, g := range m.info.Globals {
+		size := g.Type.Size()
+		addr, err := m.mem.Alloc(size, 0, "global "+g.Name)
+		if err != nil {
+			return err
+		}
+		m.globalAddr[i] = addr
+	}
+	// Initializers may reference other globals (constants only), so a
+	// scratch thread evaluates them after all allocation.
+	t, err := m.newThread(0)
+	if err != nil {
+		return err
+	}
+	defer t.release()
+	for i, g := range m.info.Globals {
+		if g.Init == nil {
+			continue
+		}
+		v := t.eval(nil, g.Init)
+		t.storeTyped(m.globalAddr[i], g.Type, convert(v, g.Init.ExprType(), g.Type))
+	}
+	return nil
+}
+
+// internString returns the address of a NUL-terminated copy of s.
+func (m *Machine) internString(s string) int64 {
+	m.strMu.Lock()
+	defer m.strMu.Unlock()
+	if a, ok := m.strings[s]; ok {
+		return a
+	}
+	addr, err := m.mem.Alloc(int64(len(s))+1, 0, "str")
+	if err != nil {
+		rterrf(token.Pos{}, "interning string: %v", err)
+	}
+	copy(m.mem.Bytes(addr, int64(len(s))), s)
+	m.strings[s] = addr
+	return addr
+}
+
+func (m *Machine) printf(format string, args ...any) {
+	m.outMu.Lock()
+	fmt.Fprintf(&m.out, format, args...)
+	m.outMu.Unlock()
+}

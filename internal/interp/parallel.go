@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/token"
+)
+
+// loopBounds describes the iteration space of a parallel for loop:
+// iteration k executes with indvar = start + k*step, for k in [0, n).
+type loopBounds struct {
+	start, step, n int64
+}
+
+// bounds computes the iteration space. Parallel loops require
+// loop-invariant bound and step expressions (as in OpenMP); both are
+// evaluated once, here.
+func (t *thread) bounds(f *frame, x *ast.For) loopBounds {
+	iv := x.IndVar
+	start := t.loadTyped(t.symAddr(f, iv, x.Pos()), iv.Type).I
+
+	// Step from the post expression.
+	var step int64
+	switch p := x.Post.(type) {
+	case *ast.IncDec:
+		step = 1
+	case *ast.Assign:
+		switch p.Op {
+		case token.ADDASSIGN:
+			step = t.eval(f, p.RHS).I
+		case token.ASSIGN:
+			b, ok := p.RHS.(*ast.Binary)
+			if !ok || b.Op != token.ADD {
+				rterrf(x.Pos(), "unsupported parallel loop step")
+			}
+			if id, ok := b.X.(*ast.Ident); ok && id.Sym == iv {
+				step = t.eval(f, b.Y).I
+			} else if id, ok := b.Y.(*ast.Ident); ok && id.Sym == iv {
+				step = t.eval(f, b.X).I
+			} else {
+				rterrf(x.Pos(), "unsupported parallel loop step")
+			}
+		}
+	}
+	if step == 0 {
+		rterrf(x.Pos(), "parallel loop has zero step")
+	}
+
+	// Bound from the condition.
+	cond := x.Cond.(*ast.Binary)
+	op := cond.Op
+	var bound int64
+	if id, ok := cond.X.(*ast.Ident); ok && id.Sym == iv {
+		bound = t.eval(f, cond.Y).I
+	} else if id, ok := cond.Y.(*ast.Ident); ok && id.Sym == iv {
+		bound = t.eval(f, cond.X).I
+		// Mirror the comparison so the induction variable is on the left.
+		switch op {
+		case token.LSS:
+			op = token.GTR
+		case token.GTR:
+			op = token.LSS
+		case token.LEQ:
+			op = token.GEQ
+		case token.GEQ:
+			op = token.LEQ
+		}
+	} else {
+		rterrf(x.Pos(), "parallel loop condition does not test the induction variable")
+	}
+
+	var n int64
+	switch op {
+	case token.LSS:
+		if step > 0 && bound > start {
+			n = (bound - start + step - 1) / step
+		}
+	case token.LEQ:
+		if step > 0 && bound >= start {
+			n = (bound-start)/step + 1
+		}
+	case token.GTR:
+		if step < 0 && bound < start {
+			n = (start - bound + (-step) - 1) / (-step)
+		}
+	case token.GEQ:
+		if step < 0 && bound <= start {
+			n = (start-bound)/(-step) + 1
+		}
+	case token.NEQ:
+		if step != 0 && (bound-start)%step == 0 && (bound-start)/step > 0 {
+			n = (bound - start) / step
+		}
+	}
+	return loopBounds{start: start, step: step, n: n}
+}
+
+// hasSyncStmts reports whether the loop body contains ordered-section
+// markers placed by the sync-placement pass.
+func hasSyncStmts(body ast.Stmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SyncWait, *ast.SyncPost:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// runParallelFor executes a parallel-annotated for loop with
+// N = Options.NumThreads simulated threads, one goroutine each.
+// DOALL loops use static chunking; DOACROSS loops use dynamic
+// scheduling with chunk size one plus ordered-section tickets, the
+// schedules the paper uses with Gomp (§4.3).
+func (t *thread) runParallelFor(f *frame, x *ast.For) {
+	if x.Init != nil {
+		t.exec(f, x.Init)
+	}
+	lb := t.bounds(f, x)
+	iv := x.IndVar
+	ivAddr := t.symAddr(f, iv, x.Pos())
+	n := lb.n
+	nt := t.m.opts.NumThreads
+	if h := t.m.opts.Hooks; h != nil && h.ParallelStart != nil {
+		h.ParallelStart(x.ID, nt)
+	}
+	t.m.inParallel = true
+	defer func() {
+		t.m.inParallel = false
+		if h := t.m.opts.Hooks; h != nil && h.ParallelEnd != nil {
+			h.ParallelEnd(x.ID)
+		}
+	}()
+
+	ordered := x.Par == ast.DOACROSS && hasSyncStmts(x.Body)
+	var order *orderState
+	if ordered {
+		order = &orderState{}
+	}
+	var next atomic.Int64 // dynamic-schedule iteration counter
+
+	workers := make([]*thread, nt)
+	for i := 0; i < nt; i++ {
+		w, err := t.m.newThread(i)
+		if err != nil {
+			rterrf(x.Pos(), "spawning thread %d: %v", i, err)
+		}
+		w.parallel = true
+		workers[i] = w
+	}
+
+	var wg sync.WaitGroup
+	panics := make([]any, nt)
+	for i := 0; i < nt; i++ {
+		w := workers[i]
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[idx] = r
+				}
+			}()
+			wf := &frame{fn: f.fn, slots: make([]int64, len(f.slots))}
+			copy(wf.slots, f.slots)
+			// Private induction variable cell on the worker's stack.
+			pvAddr := w.alloca(iv.Type.Size(), x.Pos())
+			wf.slots[iv.Index] = pvAddr
+			if x.Par == ast.DOALL {
+				w.runStaticChunk(wf, x, lb, pvAddr)
+			} else {
+				w.runDynamic(wf, x, lb, pvAddr, &next, order)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for _, w := range workers {
+		t.m.mergeCounters(w)
+		w.release()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	// Sequential semantics after the loop: the induction variable holds
+	// its first value failing the condition.
+	t.storeTyped(ivAddr, iv.Type, truncInt(lb.start+n*lb.step, iv.Type))
+}
+
+// runStaticChunk executes a contiguous block of iterations (DOALL
+// static scheduling, as with Gomp's static chunking).
+func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int64) {
+	nt := int64(w.m.opts.NumThreads)
+	chunk := lb.n / nt
+	rem := lb.n % nt
+	lo := int64(w.tid)*chunk + min64(int64(w.tid), rem)
+	hi := lo + chunk
+	if int64(w.tid) < rem {
+		hi++
+	}
+	w.counters[CatSync]++ // one dispatch per chunk
+	for k := lo; k < hi; k++ {
+		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
+		c := w.exec(f, x.Body)
+		if c == ctrlBreak {
+			rterrf(x.Pos(), "break out of a parallel loop")
+		}
+		if c == ctrlReturn {
+			rterrf(x.Pos(), "return out of a parallel loop")
+		}
+	}
+}
+
+// runDynamic executes iterations grabbed one at a time from a shared
+// counter (DOACROSS dynamic scheduling with chunk size 1), entering
+// ordered sections in iteration order via the ticket in order.
+func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, order *orderState) {
+	w.order = order
+	defer func() { w.order = nil }()
+	for {
+		k := next.Add(1) - 1
+		if k >= lb.n {
+			return
+		}
+		w.counters[CatSync]++ // one dispatch per iteration
+		w.curIter = k
+		w.posted = false
+		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
+		c := w.exec(f, x.Body)
+		if c == ctrlBreak || c == ctrlReturn {
+			rterrf(x.Pos(), "break/return out of a parallel loop")
+		}
+		// If the ordered section was skipped on this path, post now so
+		// later iterations are not blocked forever.
+		if order != nil && !w.posted {
+			w.syncPost()
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
+)
+
+// thread is one simulated execution context: a thread index, a private
+// stack region inside the shared memory, and instruction counters.
+type thread struct {
+	m   *Machine
+	tid int
+
+	stackBase int64
+	sp        int64
+	stackEnd  int64
+
+	counters [NumCats]int64
+	memOps   int64
+	memMiss  int64
+
+	// cacheTags models a 64 KiB 4-way set-associative per-thread cache
+	// (256 sets x 4 ways of 64-byte lines, LRU within a set). Accesses
+	// that miss it count as memory-system traffic for the schedule
+	// simulator's bandwidth bound; hits are core-local.
+	// Entry = line address + 1 (0 = empty); way 0 is most recent.
+	cacheTags [256][4]int64
+
+	// ts is non-nil while tracing a parallel loop instance.
+	ts *traceState
+
+	// order is non-nil while executing iterations of a DOACROSS loop;
+	// curIter is the 0-based iteration the thread is executing and
+	// posted records whether the ordered section was already signalled.
+	order   *orderState
+	curIter int64
+	posted  bool
+
+	// retVal holds the value of an executed return statement.
+	retVal value
+
+	// parallel marks threads executing inside a parallel loop; nested
+	// parallel loops then run sequentially, as with non-nested OpenMP.
+	parallel bool
+
+	// isMain gates the profiling hooks to sequential execution.
+	isMain bool
+}
+
+func (m *Machine) newThread(tid int) (*thread, error) {
+	base, err := m.mem.Alloc(m.opts.StackSize, 0, "stack")
+	if err != nil {
+		return nil, err
+	}
+	return &thread{
+		m: m, tid: tid,
+		stackBase: base, sp: base, stackEnd: base + m.opts.StackSize,
+		isMain: tid == 0 && !m.inParallel,
+	}, nil
+}
+
+// release frees the thread's stack region.
+func (t *thread) release() {
+	_ = t.m.mem.Free(t.stackBase)
+}
+
+// alloca reserves size bytes on the thread stack, 8-byte aligned.
+func (t *thread) alloca(size int64, pos token.Pos) int64 {
+	size = (size + 7) &^ 7
+	if t.sp+size > t.stackEnd {
+		rterrf(pos, "stack overflow (%d-byte frame, %d free)", size, t.stackEnd-t.sp)
+	}
+	a := t.sp
+	t.sp += size
+	// Stack slots are reused; zero them so programs see deterministic
+	// values, mirroring the allocator's zeroing of heap blocks.
+	b := t.m.mem.Bytes(a, size)
+	for i := range b {
+		b[i] = 0
+	}
+	return a
+}
+
+// frame is one function activation. slots maps Symbol.Index of the
+// function's params and locals to their memory addresses.
+type frame struct {
+	fn    *ast.FuncDecl
+	slots []int64
+}
+
+// call invokes fn with already-evaluated argument values. Struct
+// arguments arrive as addresses and are copied into the parameter
+// slots; struct results are copied out of the callee frame before it
+// is popped.
+func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
+	mark := t.sp
+	f := &frame{fn: fn, slots: make([]int64, fn.NumSlots)}
+	for i, p := range fn.Params {
+		size := p.Type.Size()
+		addr := t.alloca(size, pos)
+		f.slots[p.Sym.Index] = addr
+		if p.Type.Kind == ctypes.Struct {
+			t.m.mem.Memcpy(addr, args[i].I, size)
+		} else {
+			t.storeTyped(addr, p.Type, args[i])
+		}
+		// Argument binding defines the parameter slot (see the matching
+		// definition site created by sema).
+		if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
+			h.Store(p.Acc.Store, addr, size)
+		}
+	}
+	c := t.execBlock(f, fn.Body)
+	if c == ctrlReturn && fn.Ret.Kind == ctypes.Struct {
+		// The returned struct may live in the callee frame; copy it
+		// out through a buffer before the stack region is reused.
+		size := fn.Ret.Size()
+		buf := append([]byte(nil), t.m.mem.Bytes(t.retVal.I, size)...)
+		t.sp = mark
+		dst := t.alloca(size, pos)
+		copy(t.m.mem.Bytes(dst, size), buf)
+		return iv(dst)
+	}
+	t.sp = mark
+	if c == ctrlReturn {
+		return t.retVal
+	}
+	// Falling off the end of a non-void function yields 0, which
+	// matches what the benchmarks expect from C's main.
+	return value{}
+}
+
+func (t *thread) count(cat int, n int64) { t.counters[cat] += n }

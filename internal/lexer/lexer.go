@@ -1,0 +1,402 @@
+// Package lexer implements a hand-written scanner for MiniC source.
+// It produces token.Token values and reports malformed input with
+// positions attached.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"gdsx/internal/token"
+)
+
+// Lexer scans a MiniC source buffer. Create one with New and call Next
+// until it returns a token of kind token.EOF.
+type Lexer struct {
+	src  string
+	file string
+	off  int // byte offset of the next unread character
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a Lexer over src. The file name is used only in positions.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns all lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+// Next returns the next token. After the end of input it returns EOF
+// tokens indefinitely.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	return l.scanOperator(pos)
+}
+
+// All scans the entire input and returns the token stream, terminated
+// by a single EOF token.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	if kw, ok := token.Keywords[lit]; ok {
+		return token.Token{Kind: kw, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Pos: pos, Lit: lit}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	kind := token.INT
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Pos: pos, Lit: l.src[start:l.off]}
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		kind = token.FLOAT
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		next := l.peek2()
+		if isDigit(next) || next == '+' || next == '-' {
+			kind = token.FLOAT
+			l.advance() // e
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peek()) {
+				l.errorf(pos, "malformed exponent")
+			}
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+	}
+	// Accept and discard C suffixes (U, L, UL, f) so real-world
+	// constants paste cleanly into workloads.
+	for l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L' ||
+		(kind == token.FLOAT && (l.peek() == 'f' || l.peek() == 'F')) {
+		l.advance()
+	}
+	lit := strings.TrimRight(l.src[start:l.off], "uUlLfF")
+	return token.Token{Kind: kind, Pos: pos, Lit: lit}
+}
+
+func (l *Lexer) scanEscape(pos token.Pos) (byte, bool) {
+	l.advance() // backslash
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape")
+		return 0, false
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	l.errorf(pos, "unknown escape \\%c", c)
+	return c, true
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var val byte
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated char literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	if l.peek() == '\\' {
+		v, ok := l.scanEscape(pos)
+		if !ok {
+			return token.Token{Kind: token.ILLEGAL, Pos: pos}
+		}
+		val = v
+	} else {
+		val = l.advance()
+	}
+	if l.peek() != '\'' {
+		l.errorf(pos, "unterminated char literal")
+		return token.Token{Kind: token.ILLEGAL, Pos: pos}
+	}
+	l.advance()
+	return token.Token{Kind: token.CHAR, Pos: pos, Lit: string(val)}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Pos: pos}
+		}
+		if l.peek() == '"' {
+			l.advance()
+			return token.Token{Kind: token.STRING, Pos: pos, Lit: sb.String()}
+		}
+		if l.peek() == '\\' {
+			v, ok := l.scanEscape(pos)
+			if !ok {
+				return token.Token{Kind: token.ILLEGAL, Pos: pos}
+			}
+			sb.WriteByte(v)
+			continue
+		}
+		sb.WriteByte(l.advance())
+	}
+}
+
+func (l *Lexer) scanOperator(pos token.Pos) token.Token {
+	c := l.advance()
+	two := func(next byte, with, without token.Kind) token.Kind {
+		if l.peek() == next {
+			l.advance()
+			return with
+		}
+		return without
+	}
+	var k token.Kind
+	switch c {
+	case '+':
+		switch l.peek() {
+		case '+':
+			l.advance()
+			k = token.INC
+		case '=':
+			l.advance()
+			k = token.ADDASSIGN
+		default:
+			k = token.ADD
+		}
+	case '-':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			k = token.DEC
+		case '=':
+			l.advance()
+			k = token.SUBASSIGN
+		case '>':
+			l.advance()
+			k = token.ARROW
+		default:
+			k = token.SUB
+		}
+	case '*':
+		k = two('=', token.MULASSIGN, token.MUL)
+	case '/':
+		k = two('=', token.QUOASSIGN, token.QUO)
+	case '%':
+		k = two('=', token.REMASSIGN, token.REM)
+	case '&':
+		switch l.peek() {
+		case '&':
+			l.advance()
+			k = token.LAND
+		case '=':
+			l.advance()
+			k = token.ANDASSIGN
+		default:
+			k = token.AND
+		}
+	case '|':
+		switch l.peek() {
+		case '|':
+			l.advance()
+			k = token.LOR
+		case '=':
+			l.advance()
+			k = token.ORASSIGN
+		default:
+			k = token.OR
+		}
+	case '^':
+		k = two('=', token.XORASSIGN, token.XOR)
+	case '~':
+		k = token.NOT
+	case '!':
+		k = two('=', token.NEQ, token.LNOT)
+	case '=':
+		k = two('=', token.EQL, token.ASSIGN)
+	case '<':
+		switch l.peek() {
+		case '<':
+			l.advance()
+			k = two('=', token.SHLASSIGN, token.SHL)
+		case '=':
+			l.advance()
+			k = token.LEQ
+		default:
+			k = token.LSS
+		}
+	case '>':
+		switch l.peek() {
+		case '>':
+			l.advance()
+			k = two('=', token.SHRASSIGN, token.SHR)
+		case '=':
+			l.advance()
+			k = token.GEQ
+		default:
+			k = token.GTR
+		}
+	case '.':
+		k = token.DOT
+	case ',':
+		k = token.COMMA
+	case ';':
+		k = token.SEMICOLON
+	case ':':
+		k = token.COLON
+	case '?':
+		k = token.QUESTION
+	case '(':
+		k = token.LPAREN
+	case ')':
+		k = token.RPAREN
+	case '[':
+		k = token.LBRACK
+	case ']':
+		k = token.RBRACK
+	case '{':
+		k = token.LBRACE
+	case '}':
+		k = token.RBRACE
+	default:
+		l.errorf(pos, "illegal character %q", c)
+		k = token.ILLEGAL
+	}
+	return token.Token{Kind: k, Pos: pos}
+}

@@ -1,0 +1,143 @@
+package lexer
+
+import (
+	"testing"
+
+	"gdsx/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New("t.c", src)
+	var out []token.Kind
+	for _, tok := range l.All() {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % & | ^ << >> ~ && || ! == != < > <= >= = += -= *= /= %= &= |= ^= <<= >>= ++ -- -> . , ; : ? ( ) [ ] { }"
+	want := []token.Kind{
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.NOT,
+		token.LAND, token.LOR, token.LNOT,
+		token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ,
+		token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN, token.MULASSIGN,
+		token.QUOASSIGN, token.REMASSIGN, token.ANDASSIGN, token.ORASSIGN,
+		token.XORASSIGN, token.SHLASSIGN, token.SHRASSIGN,
+		token.INC, token.DEC, token.ARROW, token.DOT, token.COMMA,
+		token.SEMICOLON, token.COLON, token.QUESTION,
+		token.LPAREN, token.RPAREN, token.LBRACK, token.RBRACK,
+		token.LBRACE, token.RBRACE, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	l := New("t.c", "int foo while whilex parallel doacross")
+	toks := l.All()
+	if toks[0].Kind != token.KwInt {
+		t.Fatal("int")
+	}
+	if toks[1].Kind != token.IDENT || toks[1].Lit != "foo" {
+		t.Fatal("foo")
+	}
+	if toks[2].Kind != token.KwWhile {
+		t.Fatal("while")
+	}
+	if toks[3].Kind != token.IDENT || toks[3].Lit != "whilex" {
+		t.Fatal("whilex must be an identifier")
+	}
+	if toks[4].Kind != token.KwParallel || toks[5].Kind != token.KwDoacross {
+		t.Fatal("parallel annotations")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("t.c", "0 42 0x7fff 1.5 2e10 3.25e-2 7u 8L 9UL 1.0f")
+	toks := l.All()
+	wantKind := []token.Kind{
+		token.INT, token.INT, token.INT, token.FLOAT, token.FLOAT,
+		token.FLOAT, token.INT, token.INT, token.INT, token.FLOAT,
+	}
+	wantLit := []string{"0", "42", "0x7fff", "1.5", "2e10", "3.25e-2", "7", "8", "9", "1.0"}
+	for i := range wantKind {
+		if toks[i].Kind != wantKind[i] || toks[i].Lit != wantLit[i] {
+			t.Fatalf("tok %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Lit, wantKind[i], wantLit[i])
+		}
+	}
+}
+
+func TestCharAndString(t *testing.T) {
+	l := New("t.c", `'a' '\n' '\\' "hi\tthere" ""`)
+	toks := l.All()
+	if toks[0].Lit != "a" || toks[1].Lit != "\n" || toks[2].Lit != "\\" {
+		t.Fatalf("chars: %q %q %q", toks[0].Lit, toks[1].Lit, toks[2].Lit)
+	}
+	if toks[3].Kind != token.STRING || toks[3].Lit != "hi\tthere" {
+		t.Fatalf("string: %q", toks[3].Lit)
+	}
+	if toks[4].Lit != "" {
+		t.Fatalf("empty string: %q", toks[4].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	l := New("t.c", "a // line comment\nb /* block\ncomment */ c")
+	toks := l.All()
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[2].Pos.Line != 3 {
+		t.Fatalf("c line = %d, want 3", toks[2].Pos.Line)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.c", "ab\n  cd")
+	toks := l.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("ab pos %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("cd pos %v", toks[1].Pos)
+	}
+	if toks[0].Pos.String() != "f.c:1:1" {
+		t.Fatalf("pos string %q", toks[0].Pos.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"'x",
+		"/* unterminated",
+		"@",
+		"'\\q'",
+	}
+	for _, src := range cases {
+		l := New("e.c", src)
+		l.All()
+		if len(l.Errors()) == 0 {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("t.c", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if l.Next().Kind != token.EOF {
+			t.Fatal("EOF must repeat")
+		}
+	}
+}

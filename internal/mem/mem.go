@@ -1,0 +1,304 @@
+// Package mem implements the flat, byte-addressable simulated memory
+// that MiniC programs execute against. All program data — globals,
+// per-thread stacks and the heap — live in one shared byte array, so a
+// MiniC address is simply an offset. This is what gives the paper's
+// expansion arithmetic (copy t of a structure lives span bytes after
+// copy t-1) its literal meaning, and what lets the dependence profiler
+// observe every load and store.
+//
+// Loads and stores are unsynchronized, exactly like real memory;
+// correctness of parallel execution relies on the transformation
+// directing different threads to disjoint byte ranges. Allocation
+// metadata is guarded by a lock and supports interior-pointer lookup,
+// which the runtime-privatization baseline uses as its "heap prefix".
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NullGuard is the number of reserved bytes at address 0 so that the
+// null pointer never points into a valid object.
+const NullGuard = 64
+
+// Block describes one live allocation.
+type Block struct {
+	Base int64
+	Size int64
+	// Site is the heap allocation-site ID for heap blocks, 0 otherwise.
+	Site int
+	// Label describes non-heap blocks ("global g", "stack t3", "str").
+	Label string
+}
+
+// End returns the first address past the block.
+func (b Block) End() int64 { return b.Base + b.Size }
+
+// Memory is a simulated address space. The zero value is not usable;
+// call New.
+type Memory struct {
+	data []byte
+
+	mu        sync.RWMutex
+	live      map[int64]Block
+	bases     []int64 // sorted bases of live blocks
+	freeList  []Block // sorted by base, coalesced
+	liveBytes int64
+	highWater int64
+	allocs    int64 // total number of Alloc calls
+
+	// Data-only accounting, excluding thread stacks: the paper's
+	// Figure 14 measures program data, and Linux's lazy allocation
+	// means unused stack reservations cost nothing there either.
+	liveData      int64
+	highWaterData int64
+}
+
+// New creates a memory of the given capacity in bytes.
+func New(capacity int64) *Memory {
+	m := &Memory{
+		data: make([]byte, capacity),
+		live: map[int64]Block{},
+	}
+	m.freeList = []Block{{Base: NullGuard, Size: capacity - NullGuard}}
+	return m
+}
+
+// Cap returns the capacity of the memory.
+func (m *Memory) Cap() int64 { return int64(len(m.data)) }
+
+const align = 8
+
+// Alloc reserves size bytes (rounded up to 8-byte alignment) and
+// returns the base address. site tags heap allocations with their
+// allocation-site ID; label tags everything else.
+func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
+	if size <= 0 {
+		size = 1
+	}
+	size = (size + align - 1) &^ (align - 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, f := range m.freeList {
+		if f.Size < size {
+			continue
+		}
+		base := f.Base
+		if f.Size == size {
+			m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
+		} else {
+			m.freeList[i] = Block{Base: f.Base + size, Size: f.Size - size}
+		}
+		b := Block{Base: base, Size: size, Site: site, Label: label}
+		m.live[base] = b
+		m.insertBase(base)
+		m.liveBytes += size
+		m.allocs++
+		if m.liveBytes > m.highWater {
+			m.highWater = m.liveBytes
+		}
+		if label != "stack" {
+			m.liveData += size
+			if m.liveData > m.highWaterData {
+				m.highWaterData = m.liveData
+			}
+		}
+		// Zero the block: C malloc does not guarantee this, but MiniC
+		// does, which keeps program output deterministic.
+		for j := base; j < base+size; j++ {
+			m.data[j] = 0
+		}
+		return base, nil
+	}
+	return 0, fmt.Errorf("mem: out of memory allocating %d bytes (capacity %d, live %d)",
+		size, len(m.data), m.liveBytes)
+}
+
+// Free releases the block with the given base address. Freeing address
+// 0 is a no-op, as in C.
+func (m *Memory) Free(base int64) error {
+	if base == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.live[base]
+	if !ok {
+		return fmt.Errorf("mem: free of non-allocated address %d", base)
+	}
+	delete(m.live, base)
+	m.removeBase(base)
+	m.liveBytes -= b.Size
+	if b.Label != "stack" {
+		m.liveData -= b.Size
+	}
+	m.insertFree(Block{Base: b.Base, Size: b.Size})
+	return nil
+}
+
+// Realloc grows or shrinks the block at base to newSize, moving it if
+// necessary, and returns the (possibly new) base address. Realloc of
+// address 0 behaves like Alloc.
+func (m *Memory) Realloc(base, newSize int64, site int) (int64, error) {
+	if base == 0 {
+		return m.Alloc(newSize, site, "")
+	}
+	m.mu.RLock()
+	old, ok := m.live[base]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("mem: realloc of non-allocated address %d", base)
+	}
+	nb, err := m.Alloc(newSize, site, old.Label)
+	if err != nil {
+		return 0, err
+	}
+	n := old.Size
+	if newSize < n {
+		n = newSize
+	}
+	copy(m.data[nb:nb+n], m.data[base:base+n])
+	if err := m.Free(base); err != nil {
+		return 0, err
+	}
+	return nb, nil
+}
+
+// insertBase keeps m.bases sorted.
+func (m *Memory) insertBase(base int64) {
+	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] >= base })
+	m.bases = append(m.bases, 0)
+	copy(m.bases[i+1:], m.bases[i:])
+	m.bases[i] = base
+}
+
+func (m *Memory) removeBase(base int64) {
+	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] >= base })
+	if i < len(m.bases) && m.bases[i] == base {
+		m.bases = append(m.bases[:i], m.bases[i+1:]...)
+	}
+}
+
+// insertFree adds a free block, coalescing with neighbors.
+func (m *Memory) insertFree(b Block) {
+	i := sort.Search(len(m.freeList), func(i int) bool { return m.freeList[i].Base >= b.Base })
+	// Coalesce with predecessor.
+	if i > 0 && m.freeList[i-1].End() == b.Base {
+		m.freeList[i-1].Size += b.Size
+		// Coalesce predecessor with successor.
+		if i < len(m.freeList) && m.freeList[i-1].End() == m.freeList[i].Base {
+			m.freeList[i-1].Size += m.freeList[i].Size
+			m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
+		}
+		return
+	}
+	// Coalesce with successor.
+	if i < len(m.freeList) && b.End() == m.freeList[i].Base {
+		m.freeList[i].Base = b.Base
+		m.freeList[i].Size += b.Size
+		return
+	}
+	m.freeList = append(m.freeList, Block{})
+	copy(m.freeList[i+1:], m.freeList[i:])
+	m.freeList[i] = b
+}
+
+// Block returns the live block containing addr (which may be an
+// interior pointer), and whether one exists. This lookup is the
+// equivalent of the SpiceC "heap prefix" walk, extended — as the paper
+// describes — to be safe for pointers into the middle of an object.
+func (m *Memory) Block(addr int64) (Block, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] > addr })
+	if i == 0 {
+		return Block{}, false
+	}
+	b := m.live[m.bases[i-1]]
+	if addr < b.End() {
+		return b, true
+	}
+	return Block{}, false
+}
+
+// Stats reports allocator statistics.
+type Stats struct {
+	Live      int64 // bytes currently allocated
+	HighWater int64 // maximum of Live over the run
+	// HighWaterData is the high-water mark of non-stack allocations
+	// (program data only), the quantity the paper's Figure 14 tracks.
+	HighWaterData int64
+	Allocs        int64 // number of Alloc calls
+	Blocks        int   // live block count
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (m *Memory) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Stats{
+		Live: m.liveBytes, HighWater: m.highWater,
+		HighWaterData: m.highWaterData, Allocs: m.allocs, Blocks: len(m.live),
+	}
+}
+
+// ResetHighWater sets the high-water mark back to the current live
+// byte count (used to measure a single phase of a program).
+func (m *Memory) ResetHighWater() {
+	m.mu.Lock()
+	m.highWater = m.liveBytes
+	m.highWaterData = m.liveData
+	m.mu.Unlock()
+}
+
+// Bytes returns the n bytes at addr as a slice aliasing the memory.
+func (m *Memory) Bytes(addr, n int64) []byte { return m.data[addr : addr+n] }
+
+// Load reads a little-endian value of the given byte size (1, 2, 4, 8).
+// Sub-8 sizes are sign- or zero-extended by the caller.
+func (m *Memory) Load(addr int64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(m.data[addr])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.data[addr:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[addr:])
+	}
+	panic(fmt.Sprintf("mem: load size %d", size))
+}
+
+// Store writes a little-endian value of the given byte size.
+func (m *Memory) Store(addr int64, size int, v uint64) {
+	switch size {
+	case 1:
+		m.data[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[addr:], v)
+	default:
+		panic(fmt.Sprintf("mem: store size %d", size))
+	}
+}
+
+// Memset fills n bytes at addr with v.
+func (m *Memory) Memset(addr int64, v byte, n int64) {
+	s := m.data[addr : addr+n]
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// Memcpy copies n bytes from src to dst (regions may not overlap in
+// MiniC programs; overlapping copies follow Go's copy semantics).
+func (m *Memory) Memcpy(dst, src, n int64) {
+	copy(m.data[dst:dst+n], m.data[src:src+n])
+}

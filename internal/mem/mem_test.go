@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeBasic(t *testing.T) {
+	m := New(1 << 16)
+	a, err := m.Alloc(100, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < NullGuard {
+		t.Fatalf("allocation inside null guard: %d", a)
+	}
+	if a%8 != 0 {
+		t.Fatalf("unaligned allocation: %d", a)
+	}
+	b, err := m.Alloc(50, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+100 {
+		t.Fatalf("overlapping allocations: %d after %d+100", b, a)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a); err == nil {
+		t.Fatal("double free not detected")
+	}
+	if err := m.Free(0); err != nil {
+		t.Fatal("free(NULL) must be a no-op")
+	}
+	if err := m.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocZeroes(t *testing.T) {
+	m := New(1 << 12)
+	a, _ := m.Alloc(64, 0, "")
+	m.Store(a, 8, 0xdeadbeef)
+	_ = m.Free(a)
+	b, _ := m.Alloc(64, 0, "")
+	if b != a {
+		t.Fatalf("expected first-fit reuse, got %d vs %d", b, a)
+	}
+	if v := m.Load(b, 8); v != 0 {
+		t.Fatalf("reused block not zeroed: %x", v)
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	m := New(1 << 12)
+	a, _ := m.Alloc(16, 0, "")
+	m.Store(a, 8, 0x1122334455667788)
+	if v := m.Load(a, 1); v != 0x88 {
+		t.Fatalf("byte = %x", v)
+	}
+	if v := m.Load(a, 2); v != 0x7788 {
+		t.Fatalf("short = %x", v)
+	}
+	if v := m.Load(a, 4); v != 0x55667788 {
+		t.Fatalf("int = %x", v)
+	}
+	m.Store(a+2, 2, 0xaaaa)
+	if v := m.Load(a, 8); v != 0x11223344aaaa7788 {
+		t.Fatalf("mixed = %x", v)
+	}
+}
+
+func TestBlockLookupInterior(t *testing.T) {
+	m := New(1 << 14)
+	a, _ := m.Alloc(256, 7, "")
+	blk, ok := m.Block(a + 100)
+	if !ok || blk.Base != a || blk.Site != 7 {
+		t.Fatalf("interior lookup failed: %+v ok=%v", blk, ok)
+	}
+	if _, ok := m.Block(a + 256); ok {
+		t.Fatalf("one-past-end lookup must fail")
+	}
+	_ = m.Free(a)
+	if _, ok := m.Block(a + 100); ok {
+		t.Fatalf("lookup into freed block must fail")
+	}
+}
+
+func TestRealloc(t *testing.T) {
+	m := New(1 << 14)
+	a, _ := m.Alloc(32, 3, "")
+	for i := int64(0); i < 32; i++ {
+		m.Bytes(a, 32)[i] = byte(i)
+	}
+	b, err := m.Realloc(a, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 32; i++ {
+		if m.Bytes(b, 64)[i] != byte(i) {
+			t.Fatalf("content lost at %d", i)
+		}
+	}
+	c, err := m.Realloc(0, 16, 4)
+	if err != nil || c == 0 {
+		t.Fatalf("realloc(NULL) = %d, %v", c, err)
+	}
+}
+
+func TestHighWaterAndDataStats(t *testing.T) {
+	m := New(1 << 16)
+	a, _ := m.Alloc(1000, 0, "")
+	s, _ := m.Alloc(2000, 0, "stack")
+	st := m.Stats()
+	if st.HighWater < 3000 {
+		t.Fatalf("high water %d", st.HighWater)
+	}
+	if st.HighWaterData >= 3000 || st.HighWaterData < 1000 {
+		t.Fatalf("data high water %d should exclude the stack", st.HighWaterData)
+	}
+	_ = m.Free(a)
+	_ = m.Free(s)
+	if m.Stats().HighWater < 3000 {
+		t.Fatalf("high water must not decrease")
+	}
+	m.ResetHighWater()
+	if m.Stats().HighWater != 0 {
+		t.Fatalf("reset high water = %d", m.Stats().HighWater)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := New(4096)
+	if _, err := m.Alloc(1<<20, 0, ""); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	m := New(1 << 12)
+	a, _ := m.Alloc(512, 0, "")
+	b, _ := m.Alloc(512, 0, "")
+	c, _ := m.Alloc(512, 0, "")
+	_ = m.Free(a)
+	_ = m.Free(c)
+	_ = m.Free(b) // middle free must coalesce all three
+	d, err := m.Alloc(1536, 0, "")
+	if err != nil {
+		t.Fatalf("coalesced allocation failed: %v", err)
+	}
+	if d != a {
+		t.Fatalf("coalesced block should start at %d, got %d", a, d)
+	}
+}
+
+// Property: live blocks never overlap, interior lookups always resolve
+// to the right block, and freeing everything returns the allocator to
+// one maximal free extent.
+func TestAllocatorProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(1 << 16)
+		type blk struct{ base, size int64 }
+		var live []blk
+		for step := 0; step < 120; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				size := int64(1 + rng.Intn(300))
+				a, err := m.Alloc(size, 1, "")
+				if err != nil {
+					continue
+				}
+				// No overlap with existing blocks.
+				for _, b := range live {
+					if a < b.base+b.size && b.base < a+size {
+						return false
+					}
+				}
+				live = append(live, blk{a, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := m.Free(live[i].base); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			// Spot-check interior lookup.
+			if len(live) > 0 {
+				b := live[rng.Intn(len(live))]
+				got, ok := m.Block(b.base + rng.Int63n(b.size))
+				if !ok || got.Base != b.base {
+					return false
+				}
+			}
+		}
+		for _, b := range live {
+			if err := m.Free(b.base); err != nil {
+				return false
+			}
+		}
+		// Everything freed: a maximal allocation must succeed again.
+		if _, err := m.Alloc(1<<16-NullGuard, 0, ""); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

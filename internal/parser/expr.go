@@ -1,0 +1,294 @@
+package parser
+
+import (
+	"strconv"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/token"
+)
+
+// expr parses a full expression, including comma-free assignments.
+// MiniC has no comma operator; the comma is always a separator.
+func (p *parser) expr() (ast.Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (ast.Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	if k := p.cur().Kind; k.IsAssign() {
+		pos := p.cur().Pos
+		p.next()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		a := &ast.Assign{Op: k, LHS: lhs, RHS: rhs}
+		a.SetPos(pos)
+		return a, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (ast.Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.QUESTION) {
+		return c, nil
+	}
+	pos := p.next().Pos
+	then, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	els, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	e := &ast.Cond{C: c, Then: then, Else: els}
+	e.SetPos(pos)
+	return e, nil
+}
+
+// binLevels lists binary operators from loosest to tightest binding.
+var binLevels = [][]token.Kind{
+	{token.LOR},
+	{token.LAND},
+	{token.OR},
+	{token.XOR},
+	{token.AND},
+	{token.EQL, token.NEQ},
+	{token.LSS, token.GTR, token.LEQ, token.GEQ},
+	{token.SHL, token.SHR},
+	{token.ADD, token.SUB},
+	{token.MUL, token.QUO, token.REM},
+}
+
+func (p *parser) binExpr(level int) (ast.Expr, error) {
+	if level == len(binLevels) {
+		return p.unaryExpr()
+	}
+	x, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		found := false
+		for _, op := range binLevels[level] {
+			if k == op {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return x, nil
+		}
+		pos := p.next().Pos
+		y, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		if k == token.LAND || k == token.LOR {
+			e := &ast.Logical{Op: k, X: x, Y: y}
+			e.SetPos(pos)
+			x = e
+		} else {
+			e := &ast.Binary{Op: k, X: x, Y: y}
+			e.SetPos(pos)
+			x = e
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.ADD, token.SUB, token.NOT, token.LNOT, token.MUL, token.AND:
+		op := p.next().Kind
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		e := &ast.Unary{Op: op, X: x}
+		e.SetPos(pos)
+		return e, nil
+	case token.INC, token.DEC:
+		op := p.next().Kind
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		e := &ast.IncDec{Op: op, X: x}
+		e.SetPos(pos)
+		return e, nil
+	case token.KwSizeof:
+		p.next()
+		if p.at(token.LPAREN) && p.startsType(1) {
+			p.next()
+			t, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			e := &ast.SizeofType{Of: t}
+			e.SetPos(pos)
+			return e, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		e := &ast.SizeofExpr{X: x}
+		e.SetPos(pos)
+		return e, nil
+	case token.LPAREN:
+		if p.startsType(1) {
+			// Cast expression.
+			p.next()
+			t, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			e := &ast.Cast{To: t, X: x}
+			e.SetPos(pos)
+			return e, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (ast.Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.cur().Pos
+		switch p.cur().Kind {
+		case token.LBRACK:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBRACK); err != nil {
+				return nil, err
+			}
+			e := &ast.Index{X: x, I: idx}
+			e.SetPos(pos)
+			x = e
+		case token.DOT, token.ARROW:
+			arrow := p.next().Kind == token.ARROW
+			name, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			e := &ast.Member{X: x, Name: name.Lit, Arrow: arrow}
+			e.SetPos(pos)
+			x = e
+		case token.LPAREN:
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return nil, p.errf("called object is not a function name")
+			}
+			p.next()
+			var args []ast.Expr
+			if !p.accept(token.RPAREN) {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+				if _, err := p.expect(token.RPAREN); err != nil {
+					return nil, err
+				}
+			}
+			e := &ast.Call{Fun: id, Args: args}
+			e.SetPos(pos)
+			x = e
+		case token.INC, token.DEC:
+			op := p.next().Kind
+			e := &ast.IncDec{Op: op, X: x, Post: true}
+			e.SetPos(pos)
+			x = e
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		e := &ast.Ident{Name: t.Lit}
+		e.SetPos(t.Pos)
+		return e, nil
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			// Values such as 0xffffffff that overflow int64 parsing in
+			// base-detection mode are reparsed as unsigned.
+			u, uerr := strconv.ParseUint(t.Lit, 0, 64)
+			if uerr != nil {
+				return nil, p.errf("bad integer literal %q: %v", t.Lit, err)
+			}
+			v = int64(u)
+		}
+		e := &ast.IntLit{Value: v}
+		e.SetPos(t.Pos)
+		return e, nil
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q: %v", t.Lit, err)
+		}
+		e := &ast.FloatLit{Value: v}
+		e.SetPos(t.Pos)
+		return e, nil
+	case token.CHAR:
+		p.next()
+		e := &ast.IntLit{Value: int64(t.Lit[0])}
+		e.SetPos(t.Pos)
+		return e, nil
+	case token.STRING:
+		p.next()
+		e := &ast.StringLit{Value: t.Lit}
+		e.SetPos(t.Pos)
+		return e, nil
+	case token.LPAREN:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,35 @@
+package parser
+
+import (
+	"testing"
+
+	"gdsx/internal/sema"
+)
+
+// FuzzParse asserts the frontend never panics: arbitrary input either
+// parses (and then type-checks without panicking) or returns an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"int main() { return 0; }",
+		"struct s { int a; struct s *n; }; int main() { struct s v; return v.a; }",
+		"int main() { int i; parallel doacross for (i=0;i<4;i++) { __sync_wait(); __sync_post(); } return i; }",
+		"typedef int t; t main() { t x = (t)1.5; return x << 2 >> 1 & 3 | 4 ^ 5; }",
+		"int a[3][4]; int main(int n) { int v[n]; return a[1][2] + sizeof(v); }",
+		"int main() { char *s = \"x\\n\"; return s[0] ? 1 : 2; }",
+		"int f(int*p){return *p++;} int main(){int x;return f(&x);}",
+		"int main() { /* unterminated",
+		"int main() { 0x }",
+		"}{",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		// Checking must not panic either.
+		_, _ = sema.Check(prog)
+	})
+}

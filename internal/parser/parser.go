@@ -1,0 +1,410 @@
+// Package parser implements a recursive-descent parser for MiniC.
+// It owns the struct/typedef tables, so casts and declarations are
+// resolved to ctypes values during parsing; the result is an ast.Program
+// ready for semantic analysis.
+package parser
+
+import (
+	"errors"
+	"fmt"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/lexer"
+	"gdsx/internal/token"
+)
+
+// Parse parses a MiniC translation unit. file names the source for
+// positions only.
+func Parse(file, src string) (*ast.Program, error) {
+	lx := lexer.New(file, src)
+	toks := lx.All()
+	if errs := lx.Errors(); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	p := &parser{toks: toks, structs: map[string]*ctypes.Type{}, typedefs: map[string]*ctypes.Type{}}
+	prog := &ast.Program{File: file}
+	defer func() {
+		prog.NumLoops = p.loopID
+	}()
+	for !p.at(token.EOF) {
+		d, err := p.extDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			prog.Decls = append(prog.Decls, d...)
+		}
+	}
+	prog.NumLoops = p.loopID
+	return prog, nil
+}
+
+type parser struct {
+	toks     []token.Token
+	pos      int
+	structs  map[string]*ctypes.Type
+	typedefs map[string]*ctypes.Type
+	loopID   int
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) at(k token.Kind) bool { return p.toks[p.pos].Kind == k }
+func (p *parser) peekKind(n int) token.Kind {
+	if p.pos+n >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+// startsType reports whether the token at offset n begins a type.
+func (p *parser) startsType(n int) bool {
+	switch p.peekKind(n) {
+	case token.KwVoid, token.KwChar, token.KwShort, token.KwInt, token.KwLong,
+		token.KwFloat, token.KwDouble, token.KwUnsigned, token.KwStruct,
+		token.KwConst, token.KwStatic:
+		return true
+	case token.IDENT:
+		_, ok := p.typedefs[p.toks[p.pos+n].Lit]
+		return ok
+	}
+	return false
+}
+
+// baseType parses a type specifier without declarator parts:
+// [const|static] [unsigned] primitive | struct NAME | typedef-name,
+// followed by any number of '*'.
+func (p *parser) baseType() (*ctypes.Type, error) {
+	for p.accept(token.KwConst) || p.accept(token.KwStatic) || p.accept(token.KwExtern) {
+	}
+	unsigned := p.accept(token.KwUnsigned)
+	var t *ctypes.Type
+	switch {
+	case p.accept(token.KwVoid):
+		t = ctypes.VoidType
+	case p.accept(token.KwChar):
+		t = ctypes.CharType
+	case p.accept(token.KwShort):
+		p.accept(token.KwInt) // "short int"
+		t = ctypes.ShortType
+	case p.accept(token.KwInt):
+		t = ctypes.IntType
+	case p.accept(token.KwLong):
+		p.accept(token.KwLong) // "long long"
+		p.accept(token.KwInt)
+		t = ctypes.LongType
+	case p.accept(token.KwFloat):
+		t = ctypes.FloatType
+	case p.accept(token.KwDouble):
+		t = ctypes.DoubleType
+	case p.at(token.KwStruct):
+		p.next()
+		name, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.structs[name.Lit]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined struct %s", name.Pos, name.Lit)
+		}
+		t = st
+	case p.at(token.IDENT):
+		td, ok := p.typedefs[p.cur().Lit]
+		if !ok {
+			if unsigned {
+				t = ctypes.IntType
+				break
+			}
+			return nil, p.errf("expected type, found %s", p.cur())
+		}
+		p.next()
+		t = td
+	default:
+		if unsigned { // bare "unsigned"
+			t = ctypes.IntType
+		} else {
+			return nil, p.errf("expected type, found %s", p.cur())
+		}
+	}
+	if unsigned {
+		if !t.IsInteger() {
+			return nil, p.errf("unsigned applied to non-integer type %s", t)
+		}
+		u := *t
+		u.Unsigned = true
+		t = &u
+	}
+	return t, nil
+}
+
+// typeName parses a full type for casts and sizeof: baseType plus any
+// number of '*'.
+func (p *parser) typeName() (*ctypes.Type, error) {
+	t, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(token.MUL) {
+		t = ctypes.PointerTo(t)
+	}
+	return t, nil
+}
+
+// declarator parses {'*'} IDENT {'[' expr? ']'} on top of base.
+// It returns the declared name, the full type and, when the outermost
+// array dimension is non-constant, its length expression.
+func (p *parser) declarator(base *ctypes.Type) (string, *ctypes.Type, ast.Expr, error) {
+	for p.accept(token.MUL) {
+		base = ctypes.PointerTo(base)
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	// Collect array dimensions left to right; build type right to left.
+	type dim struct {
+		n   int64
+		vla ast.Expr
+	}
+	var dims []dim
+	for p.accept(token.LBRACK) {
+		if p.accept(token.RBRACK) {
+			dims = append(dims, dim{n: -1})
+			continue
+		}
+		e, err := p.expr()
+		if err != nil {
+			return "", nil, nil, err
+		}
+		if _, err := p.expect(token.RBRACK); err != nil {
+			return "", nil, nil, err
+		}
+		if n, ok := ast.FoldConst(e); ok {
+			if n <= 0 {
+				return "", nil, nil, fmt.Errorf("%s: array dimension must be positive", e.Pos())
+			}
+			dims = append(dims, dim{n: n})
+		} else {
+			dims = append(dims, dim{n: -1, vla: e})
+		}
+	}
+	t := base
+	var vlaLen ast.Expr
+	for i := len(dims) - 1; i >= 0; i-- {
+		d := dims[i]
+		if d.n < 0 && i != 0 {
+			return "", nil, nil, fmt.Errorf("%s: only the outermost array dimension may be dynamic", name.Pos)
+		}
+		t = ctypes.ArrayOf(t, d.n)
+		if d.n < 0 {
+			vlaLen = d.vla
+		}
+	}
+	return name.Lit, t, vlaLen, nil
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+func (p *parser) extDecl() ([]ast.Decl, error) {
+	switch {
+	case p.at(token.KwTypedef):
+		p.next()
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		name, t, vla, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if vla != nil {
+			return nil, p.errf("typedef of dynamic array")
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		p.typedefs[name] = t
+		return nil, nil
+
+	case p.at(token.KwStruct) && p.peekKind(1) == token.IDENT && p.peekKind(2) == token.LBRACE:
+		return p.structDef()
+	}
+
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	pos := p.cur().Pos
+	name, t, vla, err := p.declarator(base)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.LPAREN) {
+		if vla != nil || t.Kind == ctypes.Array {
+			return nil, p.errf("function returning array")
+		}
+		f, err := p.funcRest(pos, name, t)
+		if err != nil {
+			return nil, err
+		}
+		return []ast.Decl{f}, nil
+	}
+	// Global variable declaration(s).
+	var decls []ast.Decl
+	d, err := p.varRest(pos, name, t, vla)
+	if err != nil {
+		return nil, err
+	}
+	decls = append(decls, d)
+	for p.accept(token.COMMA) {
+		pos := p.cur().Pos
+		name, t, vla, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.varRest(pos, name, t, vla)
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, d)
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *parser) varRest(pos token.Pos, name string, t *ctypes.Type, vla ast.Expr) (*ast.VarDecl, error) {
+	d := &ast.VarDecl{P: pos, Name: name, Type: t, VLALen: vla}
+	if p.accept(token.ASSIGN) {
+		init, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+func (p *parser) structDef() ([]ast.Decl, error) {
+	pos := p.cur().Pos
+	p.next() // struct
+	name := p.next().Lit
+	if _, ok := p.structs[name]; ok {
+		return nil, fmt.Errorf("%s: struct %s redefined", pos, name)
+	}
+	// Pre-register so fields can hold struct NAME * (self reference).
+	placeholder := &ctypes.Type{Kind: ctypes.Struct, Name: name}
+	p.structs[name] = placeholder
+	p.next() // {
+	var fields []*ctypes.Field
+	for !p.accept(token.RBRACE) {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			fname, ft, vla, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if vla != nil {
+				return nil, p.errf("dynamic array in struct field")
+			}
+			if ft == placeholder {
+				return nil, fmt.Errorf("%s: struct %s contains itself", pos, name)
+			}
+			fields = append(fields, &ctypes.Field{Name: fname, Type: ft})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	st := ctypes.NewStruct(name, fields)
+	// Patch the placeholder in place so pointer fields created during
+	// parsing refer to the completed type.
+	*placeholder = *st
+	p.structs[name] = placeholder
+	return []ast.Decl{&ast.StructDef{P: pos, Type: placeholder}}, nil
+}
+
+func (p *parser) funcRest(pos token.Pos, name string, ret *ctypes.Type) (*ast.FuncDecl, error) {
+	p.next() // (
+	var params []*ast.VarDecl
+	if !p.accept(token.RPAREN) {
+		if p.at(token.KwVoid) && p.peekKind(1) == token.RPAREN {
+			p.next()
+			p.next()
+		} else {
+			for {
+				base, err := p.baseType()
+				if err != nil {
+					return nil, err
+				}
+				ppos := p.cur().Pos
+				pname, pt, vla, err := p.declarator(base)
+				if err != nil {
+					return nil, err
+				}
+				if vla != nil {
+					return nil, p.errf("dynamic array parameter")
+				}
+				// Array parameters decay to pointers, as in C.
+				if pt.Kind == ctypes.Array {
+					pt = ctypes.PointerTo(pt.Elem)
+				}
+				params = append(params, &ast.VarDecl{P: ppos, Name: pname, Type: pt})
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.FuncDecl{P: pos, Name: name, Ret: ret, Params: params, Body: body}, nil
+}

@@ -1,0 +1,180 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func TestTypedefChains(t *testing.T) {
+	prog := mustParse(t, `
+typedef int word;
+typedef word *wordp;
+int main() {
+    word w = 1;
+    wordp p = &w;
+    *p = 2;
+    return w;
+}`)
+	var ptype *ctypes.Type
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if d, ok := n.(*ast.VarDecl); ok && d.Name == "p" {
+			ptype = d.Type
+		}
+		return true
+	})
+	if ptype == nil || ptype.Kind != ctypes.Ptr || ptype.Elem.Kind != ctypes.Int {
+		t.Fatalf("wordp resolved to %v", ptype)
+	}
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	prog := mustParse(t, `
+struct tree {
+    int v;
+    struct tree *left;
+    struct tree *right;
+};
+int main() { struct tree t; t.v = 1; return t.v; }`)
+	var st *ctypes.Type
+	for _, d := range prog.Decls {
+		if sd, ok := d.(*ast.StructDef); ok {
+			st = sd.Type
+		}
+	}
+	if st.Size() != 24 {
+		t.Fatalf("tree size = %d", st.Size())
+	}
+	if st.Field("left").Type.Elem != st {
+		t.Fatal("self-referential pointer does not point back to the struct")
+	}
+}
+
+func TestDirectStructSelfContainmentRejected(t *testing.T) {
+	_, err := Parse("t.c", "struct s { struct s inner; }; int main() { return 0; }")
+	if err == nil || !strings.Contains(err.Error(), "contains itself") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommaDeclarations(t *testing.T) {
+	prog := mustParse(t, `
+int a, *b, c[4];
+int main() {
+    int x, *y;
+    y = &x;
+    *y = 1;
+    return a + c[0] + x;
+}`)
+	g := prog.Globals()
+	if len(g) != 3 {
+		t.Fatalf("globals = %d", len(g))
+	}
+	if g[0].Type.Kind != ctypes.Int || g[1].Type.Kind != ctypes.Ptr || g[2].Type.Kind != ctypes.Array {
+		t.Fatalf("comma declarator types: %v %v %v", g[0].Type, g[1].Type, g[2].Type)
+	}
+}
+
+func TestSyncMarkersParse(t *testing.T) {
+	prog := mustParse(t, `
+int main() {
+    int i;
+    int s;
+    parallel doacross for (i = 0; i < 4; i++) {
+        __sync_wait();
+        s += i;
+        __sync_post();
+    }
+    return s;
+}`)
+	var waits, posts int
+	ast.Inspect(prog, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SyncWait:
+			waits++
+		case *ast.SyncPost:
+			posts++
+		}
+		return true
+	})
+	if waits != 1 || posts != 1 {
+		t.Fatalf("waits=%d posts=%d", waits, posts)
+	}
+}
+
+func TestArrayParamDecays(t *testing.T) {
+	prog := mustParse(t, `
+int f(int a[16]) { return a[0]; }
+int main() { int b[16]; return f(b); }`)
+	f := prog.Func("f")
+	if f.Params[0].Type.Kind != ctypes.Ptr {
+		t.Fatalf("array param type = %v, want pointer decay", f.Params[0].Type)
+	}
+}
+
+func TestTernaryChain(t *testing.T) {
+	prog := mustParse(t, `
+int main() {
+    int a = 1;
+    int b = a ? 1 : a ? 2 : 3;
+    return b;
+}`)
+	_ = prog
+}
+
+func TestUnsignedForms(t *testing.T) {
+	prog := mustParse(t, `
+unsigned int a;
+unsigned b;
+unsigned char c;
+unsigned short d;
+unsigned long e;
+int main() { return 0; }`)
+	for _, g := range prog.Globals() {
+		if !g.Type.Unsigned {
+			t.Fatalf("%s not unsigned: %v", g.Name, g.Type)
+		}
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	prog := mustParse(t, "int f(void) { return 1; } int main() { return f(); }")
+	if len(prog.Func("f").Params) != 0 {
+		t.Fatal("f(void) should have no params")
+	}
+}
+
+func TestEmptyStatement(t *testing.T) {
+	mustParse(t, "int main() { ;;; return 0; }")
+}
+
+func TestPrintedSyncRoundTrip(t *testing.T) {
+	src := `
+int main() {
+    int i;
+    int s;
+    parallel doacross for (i = 0; i < 4; i++) {
+        __sync_wait();
+        s += i;
+        __sync_post();
+    }
+    return s;
+}`
+	prog := mustParse(t, src)
+	printed := ast.Print(prog)
+	if !strings.Contains(printed, "__sync_wait();") {
+		t.Fatalf("printer lost sync markers:\n%s", printed)
+	}
+	mustParse(t, printed)
+}

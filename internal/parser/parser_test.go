@@ -1,0 +1,147 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/ast"
+)
+
+const sample = `
+struct node {
+    int val;
+    struct node *next;
+};
+
+int gcount;
+int table[16];
+double ratio = 1.5;
+
+int add(int a, int b) {
+    return a + b;
+}
+
+int main() {
+    int i;
+    int n = 10;
+    int a[10];
+    struct node *head = 0;
+    for (i = 0; i < n; i++) {
+        struct node *p = (struct node*)malloc(sizeof(struct node));
+        p->val = i;
+        p->next = head;
+        head = p;
+        a[i] = add(i, gcount);
+    }
+    parallel for (i = 0; i < n; i++) {
+        a[i] = a[i] * 2;
+    }
+    while (head != 0) {
+        gcount += head->val;
+        head = head->next;
+    }
+    print_int(gcount);
+    return 0;
+}
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse("sample.c", sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Func("main") == nil || prog.Func("add") == nil {
+		t.Fatalf("missing functions")
+	}
+	if len(prog.Globals()) != 3 {
+		t.Fatalf("globals = %d, want 3", len(prog.Globals()))
+	}
+	if prog.NumLoops != 3 {
+		t.Fatalf("NumLoops = %d, want 3", prog.NumLoops)
+	}
+}
+
+func TestParallelKinds(t *testing.T) {
+	prog, err := Parse("p.c", `
+int main() {
+    int i;
+    int s;
+    parallel doacross for (i = 0; i < 4; i++) { s += i; }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var got ast.ParKind
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if f, ok := n.(*ast.For); ok {
+			got = f.Par
+		}
+		return true
+	})
+	if got != ast.DOACROSS {
+		t.Fatalf("Par = %v, want DOACROSS", got)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse("sample.c", sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	src := ast.Print(prog)
+	prog2, err := Parse("rt.c", src)
+	if err != nil {
+		t.Fatalf("reparse printed source: %v\n%s", err, src)
+	}
+	src2 := ast.Print(prog2)
+	if src != src2 {
+		t.Fatalf("print not stable:\n--- first\n%s\n--- second\n%s", src, src2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing semi", "int main() { int x }", "expected"},
+		{"bad struct", "int main() { struct nothere x; return 0; }", "undefined struct"},
+		{"unterminated", "int main() { return 0;", "unexpected EOF"},
+		{"bad dim", "int a[0]; int main() { return 0; }", "positive"},
+		{"inner vla", "int main(int n) { int a[2][n]; return 0; }", "outermost"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("e.c", tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	prog, err := Parse("c.c", `
+typedef int myint;
+int main() {
+    int x = 3;
+    long y = (long)x + 1;
+    myint z = (x) + 1;
+    short *sp = (short*)malloc(8);
+    sp[0] = 1;
+    return (int)y + z;
+}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	casts := 0
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if _, ok := n.(*ast.Cast); ok {
+			casts++
+		}
+		return true
+	})
+	if casts != 3 {
+		t.Fatalf("casts = %d, want 3", casts)
+	}
+}

@@ -1,0 +1,297 @@
+package parser
+
+import (
+	"gdsx/internal/ast"
+	"gdsx/internal/token"
+)
+
+func (p *parser) blockStmt() (*ast.Block, error) {
+	pos := p.cur().Pos
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	b := &ast.Block{}
+	b.SetPos(pos)
+	for !p.accept(token.RBRACE) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.at(token.LBRACE):
+		return p.blockStmt()
+
+	case p.startsType(0) && !(p.at(token.IDENT) && p.peekKind(1) != token.IDENT && p.peekKind(1) != token.MUL):
+		// A type token starts a declaration. For typedef names we also
+		// require the next token to look like a declarator, so that
+		// expression statements naming a typedef-shadowing variable
+		// still parse (MiniC forbids such shadowing anyway).
+		return p.declStmt()
+
+	case p.at(token.KwIf):
+		p.next()
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els ast.Stmt
+		if p.accept(token.KwElse) {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		s := &ast.If{Cond: cond, Then: then, Else: els}
+		s.SetPos(pos)
+		return s, nil
+
+	case p.at(token.KwWhile):
+		p.next()
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		p.loopID++
+		s := &ast.While{Cond: cond, Body: body, ID: p.loopID}
+		s.SetPos(pos)
+		return s, nil
+
+	case p.at(token.KwDo):
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		p.loopID++
+		s := &ast.DoWhile{Body: body, Cond: cond, ID: p.loopID}
+		s.SetPos(pos)
+		return s, nil
+
+	case p.at(token.KwParallel):
+		p.next()
+		par := ast.DOALL
+		if p.accept(token.KwDoacross) {
+			par = ast.DOACROSS
+		}
+		if !p.at(token.KwFor) {
+			return nil, p.errf("expected 'for' after 'parallel'")
+		}
+		return p.forStmt(pos, par)
+
+	case p.at(token.KwFor):
+		return p.forStmt(pos, ast.Sequential)
+
+	case p.at(token.KwReturn):
+		p.next()
+		s := &ast.Return{}
+		s.SetPos(pos)
+		if !p.at(token.SEMICOLON) {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.at(token.KwBreak):
+		p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		s := &ast.Break{}
+		s.SetPos(pos)
+		return s, nil
+
+	case p.at(token.KwContinue):
+		p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		s := &ast.Continue{}
+		s.SetPos(pos)
+		return s, nil
+
+	case p.at(token.SEMICOLON):
+		p.next()
+		b := &ast.Block{}
+		b.SetPos(pos)
+		return b, nil
+
+	case p.at(token.IDENT) && p.peekKind(1) == token.LPAREN &&
+		(p.cur().Lit == "__sync_wait" || p.cur().Lit == "__sync_post"):
+		// Ordered-section markers, printed by the sync-placement pass
+		// and re-parsed here so transformed programs stay legal MiniC.
+		wait := p.cur().Lit == "__sync_wait"
+		p.next()
+		p.next()
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		if wait {
+			s := &ast.SyncWait{}
+			s.SetPos(pos)
+			return s, nil
+		}
+		s := &ast.SyncPost{}
+		s.SetPos(pos)
+		return s, nil
+	}
+
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	s := &ast.ExprStmt{X: x}
+	s.SetPos(pos)
+	return s, nil
+}
+
+func (p *parser) forStmt(pos token.Pos, par ast.ParKind) (ast.Stmt, error) {
+	p.next() // for
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ast.For{Par: par}
+	s.SetPos(pos)
+	if !p.accept(token.SEMICOLON) {
+		if p.startsType(0) {
+			d, err := p.declStmtNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			es := &ast.ExprStmt{X: x}
+			es.SetPos(x.Pos())
+			s.Init = es
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(token.SEMICOLON) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	if !p.at(token.RPAREN) {
+		post, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	p.loopID++
+	s.ID = p.loopID
+	return s, nil
+}
+
+func (p *parser) declStmt() (ast.Stmt, error) {
+	d, err := p.declStmtNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) declStmtNoSemi() (*ast.DeclStmt, error) {
+	pos := p.cur().Pos
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	ds := &ast.DeclStmt{}
+	ds.SetPos(pos)
+	for {
+		dpos := p.cur().Pos
+		name, t, vla, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.varRest(dpos, name, t, vla)
+		if err != nil {
+			return nil, err
+		}
+		ds.Decls = append(ds.Decls, d)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,286 @@
+// Package profile implements loop-level data dependence profiling, the
+// mechanism the paper uses to obtain its dependence graphs (§4.1,
+// refs [38, 39]). A program is executed sequentially under the
+// interpreter with byte-granular shadow memory; every load and store
+// inside the target loop is compared against the last writer/reader of
+// each byte to emit flow/anti/output dependence edges, classified as
+// loop-independent or loop-carried, plus the upwards-exposed-load and
+// downwards-exposed-store properties of Definitions 2 and 3.
+//
+// Like practical dependence profilers, the shadow memory keeps only the
+// most recent reader of each byte, so when several reads of an address
+// precede a write in one iteration, the anti edge is recorded from the
+// latest read. This compression never loses flow edges (the writer
+// side is exact) and cannot flip a class between private and shared,
+// because the reads it merges are already related by loop-independent
+// flow dependences on the same address.
+package profile
+
+import (
+	"fmt"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ddg"
+	"gdsx/internal/interp"
+	"gdsx/internal/sema"
+)
+
+// Origin identifies the data structure an access touched: a heap
+// allocation site, a named global, or a thread stack (locals).
+type Origin struct {
+	Kind OriginKind
+	// Site is the allocation-site ID for heap origins.
+	Site int
+	// Name is the global's name for global origins.
+	Name string
+}
+
+// OriginKind discriminates Origin.
+type OriginKind int
+
+// Origin kinds.
+const (
+	OriginHeap OriginKind = iota
+	OriginGlobal
+	OriginStack
+	OriginOther
+)
+
+func (o Origin) String() string {
+	switch o.Kind {
+	case OriginHeap:
+		return fmt.Sprintf("heap#%d", o.Site)
+	case OriginGlobal:
+		return "global " + o.Name
+	case OriginStack:
+		return "stack"
+	}
+	return "other"
+}
+
+// Result is the outcome of profiling one loop.
+type Result struct {
+	Graph *ddg.Graph
+	// Touched maps each access site executed in the loop to the set of
+	// data-structure origins it touched (the dynamic points-to used to
+	// cross-check the static alias analysis).
+	Touched map[int]map[Origin]bool
+	// Iterations is the total number of target-loop iterations profiled.
+	Iterations int64
+	// Run is the program's execution result.
+	Run interp.Result
+}
+
+// shadow cells track the last writer and reader of each byte.
+type cell struct {
+	wSite int32
+	wInst int32
+	wIter int32
+	rSite int32
+	rInst int32
+	rIter int32
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type shadow struct {
+	pages map[int64]*[pageSize]cell
+}
+
+func (s *shadow) page(addr int64) *[pageSize]cell {
+	p := s.pages[addr>>pageShift]
+	if p == nil {
+		p = new([pageSize]cell)
+		s.pages[addr>>pageShift] = p
+	}
+	return p
+}
+
+func (s *shadow) cell(addr int64) *cell {
+	return &s.page(addr)[addr&pageMask]
+}
+
+// Loop profiles the target loop of a checked program by running it
+// sequentially. The returned graph contains every dependence observed
+// on any dynamic instance of the loop.
+func Loop(prog *ast.Program, info *sema.Info, loopID int, opts interp.Options) (*Result, error) {
+	if _, ok := info.Loops[loopID]; !ok {
+		return nil, fmt.Errorf("profile: no loop with ID %d", loopID)
+	}
+	res := &Result{
+		Graph:   ddg.NewGraph(loopID),
+		Touched: map[int]map[Origin]bool{},
+	}
+	sh := &shadow{pages: map[int64]*[pageSize]cell{}}
+
+	// Definition sites (declarations and allocations) kill the shadow
+	// history of their bytes: a recycled stack slot or heap address is
+	// a fresh object, not a dependence on its previous tenant.
+	defSite := map[int]bool{}
+	for id, as := range info.Accesses {
+		if as.IsDef {
+			defSite[id] = true
+		}
+	}
+
+	var (
+		inLoop   bool
+		instance int32 // current loop instance, starting at 1
+		iter     int32 // current 0-based iteration within the instance
+	)
+
+	opts.NumThreads = 1
+	var m *interp.Machine
+
+	origin := func(addr int64) Origin {
+		b, ok := m.Mem().Block(addr)
+		if !ok {
+			return Origin{Kind: OriginOther}
+		}
+		switch {
+		case b.Site > 0:
+			return Origin{Kind: OriginHeap, Site: b.Site}
+		case len(b.Label) > 7 && b.Label[:7] == "global ":
+			return Origin{Kind: OriginGlobal, Name: b.Label[7:]}
+		case b.Label == "stack":
+			return Origin{Kind: OriginStack}
+		}
+		return Origin{Kind: OriginOther}
+	}
+
+	touch := func(site int, addr int64) {
+		set := res.Touched[site]
+		if set == nil {
+			set = map[Origin]bool{}
+			res.Touched[site] = set
+		}
+		set[origin(addr)] = true
+	}
+
+	g := res.Graph
+	hooks := &interp.Hooks{
+		LoopEnter: func(id int) {
+			if id == loopID {
+				inLoop = true
+				instance++
+				iter = -1 // LoopIter fires before the first body execution
+			}
+		},
+		LoopIter: func(id int, it int64) {
+			if id == loopID {
+				iter = int32(it)
+			}
+		},
+		LoopExit: func(id int) {
+			if id == loopID {
+				inLoop = false
+			}
+		},
+		Load: func(site int, addr, size int64) {
+			if site == 0 {
+				return
+			}
+			if !inLoop {
+				// A read after the loop: any value last written inside
+				// some instance makes that store downwards-exposed.
+				for i := int64(0); i < size; i++ {
+					c := sh.cell(addr + i)
+					if c.wSite != 0 && c.wInst > 0 {
+						g.DownwardExposed[int(c.wSite)] = true
+					}
+					c.rSite = int32(site)
+					c.rInst = 0
+					c.rIter = 0
+				}
+				return
+			}
+			g.AddSite(site)
+			touch(site, addr)
+			for i := int64(0); i < size; i++ {
+				c := sh.cell(addr + i)
+				switch {
+				case c.wSite == 0 || c.wInst != instance:
+					// Value comes from outside this loop instance.
+					g.UpwardExposed[site] = true
+					if c.wSite != 0 && c.wInst > 0 {
+						// ... and from a store of an earlier instance:
+						// that store's value survived the loop exit.
+						g.DownwardExposed[int(c.wSite)] = true
+					}
+				case c.wIter == iter:
+					g.AddEdge(int(c.wSite), site, ddg.Flow, false)
+				default:
+					g.AddEdge(int(c.wSite), site, ddg.Flow, true)
+				}
+				c.rSite = int32(site)
+				c.rInst = instance
+				c.rIter = iter
+			}
+		},
+		Store: func(site int, addr, size int64) {
+			if site == 0 {
+				return
+			}
+			if defSite[site] {
+				wInst, wIter := int32(0), int32(0)
+				if inLoop {
+					wInst, wIter = instance, iter
+					g.Defs[site]++
+				}
+				for i := int64(0); i < size; i++ {
+					c := sh.cell(addr + i)
+					*c = cell{wSite: int32(site), wInst: wInst, wIter: wIter}
+				}
+				return
+			}
+			if !inLoop {
+				for i := int64(0); i < size; i++ {
+					c := sh.cell(addr + i)
+					c.wSite = int32(site)
+					c.wInst = 0
+					c.wIter = 0
+				}
+				return
+			}
+			g.AddSite(site)
+			touch(site, addr)
+			for i := int64(0); i < size; i++ {
+				c := sh.cell(addr + i)
+				// Anti dependence from the last reader.
+				if c.rSite != 0 && c.rInst == instance {
+					g.AddEdge(int(c.rSite), site, ddg.Anti, c.rIter != iter)
+				}
+				// Output dependence from the last writer.
+				if c.wSite != 0 && c.wInst == instance {
+					g.AddEdge(int(c.wSite), site, ddg.Output, c.wIter != iter)
+				}
+				c.wSite = int32(site)
+				c.wInst = instance
+				c.wIter = iter
+			}
+		},
+	}
+
+	// Count iterations of the target loop.
+	baseIter := hooks.LoopIter
+	hooks.LoopIter = func(id int, it int64) {
+		baseIter(id, it)
+		if id == loopID {
+			res.Iterations++
+		}
+	}
+
+	opts.Hooks = hooks
+	opts.ForceSequential = true
+	m = interp.New(prog, info, opts)
+	r, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Run = r
+	return res, nil
+}

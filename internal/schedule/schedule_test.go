@@ -1,0 +1,266 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/interp"
+)
+
+// flat returns a DOALL trace of k identical iterations of c ops each.
+func flat(k int, c int64) *interp.LoopTrace {
+	tr := &interp.LoopTrace{Kind: ast.DOALL}
+	for i := 0; i < k; i++ {
+		tr.Iters = append(tr.Iters, interp.IterCost{Pre: c})
+	}
+	return tr
+}
+
+// noOverhead is a model without fixed costs, for exact arithmetic.
+var noOverhead = Model{}
+
+func TestStaticPerfectSplit(t *testing.T) {
+	tr := flat(8, 1000)
+	b := Simulate(tr, 4, noOverhead)
+	if b.Time != 2000 {
+		t.Fatalf("time = %d, want 2000", b.Time)
+	}
+	if b.Busy != 8000 {
+		t.Fatalf("busy = %d, want 8000", b.Busy)
+	}
+	if b.Wait != 0 {
+		t.Fatalf("wait = %d, want 0", b.Wait)
+	}
+}
+
+func TestStaticImbalance(t *testing.T) {
+	// 5 iterations over 4 threads: one thread gets 2.
+	tr := flat(5, 1000)
+	b := Simulate(tr, 4, noOverhead)
+	if b.Time != 2000 {
+		t.Fatalf("time = %d, want 2000", b.Time)
+	}
+	// Three threads idle for 1000 each at the barrier.
+	if b.Wait != 3000 {
+		t.Fatalf("wait = %d, want 3000", b.Wait)
+	}
+}
+
+func TestStaticSingleThreadMatchesSum(t *testing.T) {
+	tr := flat(7, 123)
+	b := Simulate(tr, 1, noOverhead)
+	if b.Time != 7*123 {
+		t.Fatalf("time = %d, want %d", b.Time, 7*123)
+	}
+}
+
+func TestDynamicUnorderedScales(t *testing.T) {
+	tr := &interp.LoopTrace{Kind: ast.DOACROSS}
+	for i := 0; i < 16; i++ {
+		tr.Iters = append(tr.Iters, interp.IterCost{Pre: 500})
+	}
+	b1 := Simulate(tr, 1, noOverhead)
+	b4 := Simulate(tr, 4, noOverhead)
+	if b1.Time != 8000 {
+		t.Fatalf("t1 = %d", b1.Time)
+	}
+	if b4.Time != 2000 {
+		t.Fatalf("t4 = %d, want 2000", b4.Time)
+	}
+}
+
+func TestDynamicOrderedSerializes(t *testing.T) {
+	// Fully ordered iterations cannot speed up at all.
+	tr := &interp.LoopTrace{Kind: ast.DOACROSS}
+	for i := 0; i < 10; i++ {
+		tr.Iters = append(tr.Iters, interp.IterCost{Ordered: 700})
+	}
+	b8 := Simulate(tr, 8, noOverhead)
+	if b8.Time != 7000 {
+		t.Fatalf("fully ordered time = %d, want 7000", b8.Time)
+	}
+	if b8.Wait == 0 {
+		t.Fatalf("expected ordered-section waiting")
+	}
+}
+
+func TestDynamicPipelineOverlap(t *testing.T) {
+	// Pre work overlaps; the ordered tail pipelines: with enough
+	// threads the bound is startup + sum of ordered sections.
+	tr := &interp.LoopTrace{Kind: ast.DOACROSS}
+	for i := 0; i < 8; i++ {
+		tr.Iters = append(tr.Iters, interp.IterCost{Pre: 900, Ordered: 100})
+	}
+	b8 := Simulate(tr, 8, noOverhead)
+	want := int64(900 + 8*100) // first Pre, then ordered chain
+	if b8.Time != want {
+		t.Fatalf("time = %d, want %d", b8.Time, want)
+	}
+}
+
+func TestBandwidthBound(t *testing.T) {
+	tr := flat(8, 1000)
+	for i := range tr.Iters {
+		tr.Iters[i].Mem = 500
+	}
+	m := Model{MemBandwidth: 0.5} // 4000 misses need 8000 time
+	b := Simulate(tr, 8, m)
+	if b.Time != 8000 {
+		t.Fatalf("bw-bound time = %d, want 8000", b.Time)
+	}
+	// Sequentially the compute bound dominates (8000 >= 8000): equal.
+	b1 := Simulate(tr, 1, m)
+	if b1.Time != 8000 {
+		t.Fatalf("seq time = %d, want 8000", b1.Time)
+	}
+}
+
+func TestSharedCacheBound(t *testing.T) {
+	tr := flat(4, 1000)
+	for i := range tr.Iters {
+		tr.Iters[i].MemAll = 800
+	}
+	m := Model{SharedCacheBW: 1.0} // 3200 accesses -> >= 3200 time
+	b4 := Simulate(tr, 4, m)
+	if b4.Time != 3200 {
+		t.Fatalf("time = %d, want 3200", b4.Time)
+	}
+}
+
+func TestMonotonicInThreadsUniform(t *testing.T) {
+	// Property: with uniform iteration costs, more threads never
+	// increase the makespan. (With non-uniform costs, static chunk
+	// boundaries shift between thread counts and small regressions are
+	// possible — a real property of OpenMP static scheduling, checked
+	// with a tolerance below.)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kind := ast.DOALL
+		if rng.Intn(2) == 0 {
+			kind = ast.DOACROSS
+		}
+		tr := &interp.LoopTrace{Kind: kind}
+		k := 1 + rng.Intn(30)
+		c := interp.IterCost{
+			Pre:     int64(rng.Intn(1000)),
+			Ordered: int64(rng.Intn(100)),
+			Post:    int64(rng.Intn(100)),
+		}
+		for i := 0; i < k; i++ {
+			tr.Iters = append(tr.Iters, c)
+		}
+		m := DefaultModel()
+		prev := Simulate(tr, 1, m).Time
+		for _, n := range []int{2, 4, 8, 16} {
+			cur := Simulate(tr, n, m).Time
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoughlyMonotonicInThreads(t *testing.T) {
+	// Property: with arbitrary iteration costs, the makespan never
+	// regresses by more than the largest single iteration (the bound
+	// on static-chunk boundary anomalies).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kind := ast.DOALL
+		if rng.Intn(2) == 0 {
+			kind = ast.DOACROSS
+		}
+		tr := &interp.LoopTrace{Kind: kind}
+		k := 1 + rng.Intn(30)
+		var maxIter int64
+		for i := 0; i < k; i++ {
+			c := interp.IterCost{
+				Pre:     int64(rng.Intn(1000)),
+				Ordered: int64(rng.Intn(100)),
+				Post:    int64(rng.Intn(100)),
+			}
+			if c.Total() > maxIter {
+				maxIter = c.Total()
+			}
+			tr.Iters = append(tr.Iters, c)
+		}
+		m := DefaultModel()
+		prev := Simulate(tr, 1, m).Time
+		for _, n := range []int{2, 4, 8, 16} {
+			cur := Simulate(tr, n, m).Time
+			if cur > prev+maxIter {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyConservation(t *testing.T) {
+	// Property: aggregate busy time equals the trace's total ops
+	// regardless of thread count (no work is lost or duplicated),
+	// absent bandwidth stalls.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &interp.LoopTrace{Kind: ast.DOALL}
+		var want int64
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			c := int64(rng.Intn(500))
+			tr.Iters = append(tr.Iters, interp.IterCost{Pre: c})
+			want += c
+		}
+		for _, n := range []int{1, 3, 8} {
+			if got := Simulate(tr, n, noOverhead).Busy; got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramTime(t *testing.T) {
+	res := interp.Result{}
+	res.Counters[interp.CatWork] = 10000
+	tr := flat(8, 1000) // 8000 loop ops
+	res.Traces = []*interp.LoopTrace{tr}
+	total, loops, loopOps, err := ProgramTime(res, 4, noOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loopOps != 8000 {
+		t.Fatalf("loopOps = %d", loopOps)
+	}
+	if loops.Time != 2000 {
+		t.Fatalf("loop time = %d", loops.Time)
+	}
+	// 2000 sequential ops outside the loop + 2000 simulated loop time.
+	if total != 4000 {
+		t.Fatalf("total = %d, want 4000", total)
+	}
+	if SequentialTime(res) != 10000 {
+		t.Fatalf("sequential = %d", SequentialTime(res))
+	}
+}
+
+func TestProgramTimeInconsistent(t *testing.T) {
+	res := interp.Result{}
+	res.Counters[interp.CatWork] = 100
+	res.Traces = []*interp.LoopTrace{flat(8, 1000)}
+	if _, _, _, err := ProgramTime(res, 2, noOverhead); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+}

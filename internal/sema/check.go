@@ -1,0 +1,495 @@
+package sema
+
+import (
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
+)
+
+// valueCtx describes how an expression's value is used, which
+// determines the memory accesses it performs.
+type valueCtx int
+
+const (
+	rvalue       valueCtx = iota // value is read
+	storeCtx                     // location is written (plain assignment LHS)
+	loadStoreCtx                 // location is read then written (compound assign, ++/--)
+	addrCtx                      // only the address is taken (operand of &, base of .)
+)
+
+// record assigns access IDs for a location-designating node used in the
+// given context. Locations of array type never produce accesses (their
+// "value" is an address).
+func (c *checker) record(e ast.Expr, acc *ast.Access, ctx valueCtx) {
+	t := e.ExprType()
+	if t == nil || t.Kind == ctypes.Array || t.Kind == ctypes.Func {
+		return
+	}
+	add := func(isStore bool) int {
+		c.accessID++
+		site := &AccessSite{
+			ID:      c.accessID,
+			IsStore: isStore,
+			Node:    e,
+			Pos:     e.Pos(),
+			Func:    c.fn,
+			Text:    ast.PrintExpr(e),
+			Loops:   append([]int(nil), c.loopStack...),
+		}
+		c.info.Accesses[site.ID] = site
+		return site.ID
+	}
+	switch ctx {
+	case rvalue:
+		acc.Load = add(false)
+	case storeCtx:
+		acc.Store = add(true)
+	case loadStoreCtx:
+		acc.Load = add(false)
+		acc.Store = add(true)
+	case addrCtx:
+	}
+}
+
+// expr type-checks e in the given context and returns it (expressions
+// are checked in place; the return value allows future rewriting).
+func (c *checker) expr(e ast.Expr, ctx valueCtx) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errf(x.Pos(), "undefined: %s", x.Name)
+			x.SetType(ctypes.IntType)
+			return x
+		}
+		x.Sym = sym
+		x.SetType(sym.Type)
+		switch sym.Kind {
+		case ast.SymFunc, ast.SymBuiltin:
+			if ctx != rvalue {
+				c.errf(x.Pos(), "%s is not assignable", x.Name)
+			}
+		case ast.SymTID, ast.SymNTH:
+			if ctx != rvalue {
+				c.errf(x.Pos(), "%s is read-only", x.Name)
+			}
+			// Pseudo-variables are registers, not memory: no access ID.
+		default:
+			c.record(x, &x.Acc, ctx)
+		}
+		return x
+
+	case *ast.IntLit:
+		if ctx != rvalue {
+			c.errf(x.Pos(), "literal is not assignable")
+		}
+		if x.ExprType() == nil {
+			if x.Value == int64(int32(x.Value)) {
+				x.SetType(ctypes.IntType)
+			} else {
+				x.SetType(ctypes.LongType)
+			}
+		}
+		return x
+
+	case *ast.FloatLit:
+		x.SetType(ctypes.DoubleType)
+		return x
+
+	case *ast.StringLit:
+		x.SetType(ctypes.PointerTo(ctypes.CharType))
+		return x
+
+	case *ast.Unary:
+		return c.unary(x, ctx)
+
+	case *ast.Binary:
+		x.X = c.expr(x.X, rvalue)
+		x.Y = c.expr(x.Y, rvalue)
+		x.SetType(c.binaryType(x))
+		if ctx != rvalue {
+			c.errf(x.Pos(), "expression is not assignable")
+		}
+		return x
+
+	case *ast.Logical:
+		x.X = c.expr(x.X, rvalue)
+		x.Y = c.expr(x.Y, rvalue)
+		c.wantScalar(x.X)
+		c.wantScalar(x.Y)
+		x.SetType(ctypes.IntType)
+		return x
+
+	case *ast.Cond:
+		x.C = c.expr(x.C, rvalue)
+		c.wantScalar(x.C)
+		x.Then = c.expr(x.Then, rvalue)
+		x.Else = c.expr(x.Else, rvalue)
+		tt, et := x.Then.ExprType(), x.Else.ExprType()
+		switch {
+		case tt == nil || et == nil:
+			x.SetType(ctypes.IntType)
+		case tt.IsArith() && et.IsArith():
+			x.SetType(ctypes.Common(tt, et))
+		case tt.Kind == ctypes.Ptr:
+			x.SetType(tt)
+		case et.Kind == ctypes.Ptr:
+			x.SetType(et)
+		default:
+			x.SetType(tt)
+		}
+		return x
+
+	case *ast.Assign:
+		lctx := storeCtx
+		if x.Op != token.ASSIGN {
+			lctx = loadStoreCtx
+		}
+		x.LHS = c.expr(x.LHS, lctx)
+		x.RHS = c.expr(x.RHS, rvalue)
+		lt := x.LHS.ExprType()
+		if x.Op == token.ASSIGN {
+			c.checkAssignable(x.Pos(), lt, x.RHS)
+		} else {
+			rt := x.RHS.ExprType()
+			if lt != nil && rt != nil {
+				op := x.Op.CompoundOp()
+				if lt.Kind == ctypes.Ptr && (op == token.ADD || op == token.SUB) {
+					if !rt.IsInteger() {
+						c.errf(x.Pos(), "pointer %s= needs an integer operand", op)
+					}
+				} else if !lt.IsArith() || !rt.IsArith() {
+					c.errf(x.Pos(), "invalid operands to %s (%s and %s)", x.Op, lt, rt)
+				} else if (op == token.REM || op == token.SHL || op == token.SHR ||
+					op == token.AND || op == token.OR || op == token.XOR) &&
+					(!lt.IsInteger() || !rt.IsInteger()) {
+					c.errf(x.Pos(), "%s needs integer operands", x.Op)
+				}
+			}
+		}
+		x.SetType(lt)
+		if ctx != rvalue {
+			c.errf(x.Pos(), "assignment is not assignable")
+		}
+		return x
+
+	case *ast.IncDec:
+		x.X = c.expr(x.X, loadStoreCtx)
+		t := x.X.ExprType()
+		if t != nil && !t.IsArith() && t.Kind != ctypes.Ptr {
+			c.errf(x.Pos(), "invalid %s operand type %s", x.Op, t)
+		}
+		x.SetType(t)
+		return x
+
+	case *ast.Index:
+		x.X = c.expr(x.X, rvalue)
+		x.I = c.expr(x.I, rvalue)
+		if it := x.I.ExprType(); it != nil && !it.IsInteger() {
+			c.errf(x.I.Pos(), "array index is not an integer")
+		}
+		bt := x.X.ExprType()
+		switch {
+		case bt == nil:
+			x.SetType(ctypes.IntType)
+		case bt.Kind == ctypes.Array || bt.Kind == ctypes.Ptr:
+			x.SetType(bt.Elem)
+		default:
+			c.errf(x.Pos(), "indexing non-array type %s", bt)
+			x.SetType(ctypes.IntType)
+		}
+		c.record(x, &x.Acc, ctx)
+		return x
+
+	case *ast.Member:
+		if x.Arrow {
+			x.X = c.expr(x.X, rvalue)
+		} else {
+			x.X = c.expr(x.X, addrCtx)
+		}
+		bt := x.X.ExprType()
+		var st *ctypes.Type
+		switch {
+		case bt == nil:
+		case x.Arrow && bt.Kind == ctypes.Ptr && bt.Elem.Kind == ctypes.Struct:
+			st = bt.Elem
+		case !x.Arrow && bt.Kind == ctypes.Struct:
+			st = bt
+		default:
+			c.errf(x.Pos(), "member access on non-struct type %s", bt)
+		}
+		if st != nil {
+			f := st.Field(x.Name)
+			if f == nil {
+				c.errf(x.Pos(), "struct %s has no field %s", st.Name, x.Name)
+			} else {
+				x.Field = f
+				x.SetType(f.Type)
+			}
+		}
+		if x.ExprType() == nil {
+			x.SetType(ctypes.IntType)
+		}
+		c.record(x, &x.Acc, ctx)
+		return x
+
+	case *ast.Call:
+		return c.call(x, ctx)
+
+	case *ast.Cast:
+		x.X = c.expr(x.X, rvalue)
+		ft := x.X.ExprType()
+		if ft != nil {
+			fromOK := ft.IsScalar() || ft.Kind == ctypes.Array
+			toOK := x.To.IsScalar() || x.To.Kind == ctypes.Void
+			if !fromOK || !toOK {
+				c.errf(x.Pos(), "invalid cast from %s to %s", ft, x.To)
+			}
+			if x.To.Kind == ctypes.Ptr && ft.IsFloat() {
+				c.errf(x.Pos(), "cannot cast floating value to pointer")
+			}
+		}
+		x.SetType(x.To)
+		if ctx != rvalue {
+			c.errf(x.Pos(), "cast is not assignable")
+		}
+		return x
+
+	case *ast.SizeofType:
+		if !x.Of.HasStaticSize() {
+			c.errf(x.Pos(), "sizeof dynamic type %s", x.Of)
+		}
+		x.SetType(ctypes.LongType)
+		return x
+
+	case *ast.SizeofExpr:
+		// The operand is not evaluated: check it for types only, in an
+		// address context so it produces no access sites.
+		x.X = c.expr(x.X, addrCtx)
+		if t := x.X.ExprType(); t != nil && !t.HasStaticSize() {
+			c.errf(x.Pos(), "sizeof value of dynamic type %s", t)
+		}
+		x.SetType(ctypes.LongType)
+		return x
+	}
+	panic("sema: unknown expression")
+}
+
+func (c *checker) unary(x *ast.Unary, ctx valueCtx) ast.Expr {
+	switch x.Op {
+	case token.AND:
+		x.X = c.expr(x.X, addrCtx)
+		if !isLvalue(x.X) {
+			c.errf(x.Pos(), "cannot take the address of this expression")
+		}
+		t := x.X.ExprType()
+		if t == nil {
+			t = ctypes.IntType
+		}
+		// &array yields a pointer to the element type (decayed view),
+		// which is what MiniC programs use it for.
+		if t.Kind == ctypes.Array {
+			t = t.Elem
+		}
+		x.SetType(ctypes.PointerTo(t))
+		if ctx != rvalue {
+			c.errf(x.Pos(), "address expression is not assignable")
+		}
+		return x
+	case token.MUL:
+		x.X = c.expr(x.X, rvalue)
+		bt := x.X.ExprType()
+		switch {
+		case bt == nil:
+			x.SetType(ctypes.IntType)
+		case bt.Kind == ctypes.Ptr || bt.Kind == ctypes.Array:
+			x.SetType(bt.Elem)
+		default:
+			c.errf(x.Pos(), "dereferencing non-pointer type %s", bt)
+			x.SetType(ctypes.IntType)
+		}
+		c.record(x, &x.Acc, ctx)
+		return x
+	default:
+		x.X = c.expr(x.X, rvalue)
+		t := x.X.ExprType()
+		if ctx != rvalue {
+			c.errf(x.Pos(), "expression is not assignable")
+		}
+		switch x.Op {
+		case token.LNOT:
+			c.wantScalar(x.X)
+			x.SetType(ctypes.IntType)
+		case token.NOT:
+			if t != nil && !t.IsInteger() {
+				c.errf(x.Pos(), "~ needs an integer operand, got %s", t)
+			}
+			x.SetType(promoteInt(t))
+		case token.SUB, token.ADD:
+			if t != nil && !t.IsArith() {
+				c.errf(x.Pos(), "unary %s needs an arithmetic operand, got %s", x.Op, t)
+			}
+			if t != nil && t.IsFloat() {
+				x.SetType(t)
+			} else {
+				x.SetType(promoteInt(t))
+			}
+		}
+		return x
+	}
+}
+
+func promoteInt(t *ctypes.Type) *ctypes.Type {
+	if t == nil {
+		return ctypes.IntType
+	}
+	if t.IsInteger() && t.Size() < 4 {
+		if t.Unsigned {
+			return ctypes.UIntType
+		}
+		return ctypes.IntType
+	}
+	return t
+}
+
+func (c *checker) binaryType(x *ast.Binary) *ctypes.Type {
+	xt, yt := x.X.ExprType(), x.Y.ExprType()
+	if xt == nil || yt == nil {
+		return ctypes.IntType
+	}
+	// Arrays decay to pointers in binary expressions.
+	if xt.Kind == ctypes.Array {
+		xt = ctypes.PointerTo(xt.Elem)
+	}
+	if yt.Kind == ctypes.Array {
+		yt = ctypes.PointerTo(yt.Elem)
+	}
+	switch x.Op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		if xt.Kind == ctypes.Ptr || yt.Kind == ctypes.Ptr {
+			if xt.Kind != yt.Kind && !isZeroLit(x.X) && !isZeroLit(x.Y) {
+				c.errf(x.Pos(), "comparison of %s and %s", xt, yt)
+			}
+		} else if !xt.IsArith() || !yt.IsArith() {
+			c.errf(x.Pos(), "comparison of %s and %s", xt, yt)
+		}
+		return ctypes.IntType
+	case token.ADD:
+		if xt.Kind == ctypes.Ptr && yt.IsInteger() {
+			return xt
+		}
+		if yt.Kind == ctypes.Ptr && xt.IsInteger() {
+			return yt
+		}
+	case token.SUB:
+		if xt.Kind == ctypes.Ptr && yt.Kind == ctypes.Ptr {
+			return ctypes.LongType
+		}
+		if xt.Kind == ctypes.Ptr && yt.IsInteger() {
+			return xt
+		}
+	case token.REM, token.SHL, token.SHR, token.AND, token.OR, token.XOR:
+		if !xt.IsInteger() || !yt.IsInteger() {
+			c.errf(x.Pos(), "%s needs integer operands (%s and %s)", x.Op, xt, yt)
+			return ctypes.IntType
+		}
+		if x.Op == token.SHL || x.Op == token.SHR {
+			return promoteInt(xt)
+		}
+		return ctypes.Common(xt, yt)
+	}
+	if !xt.IsArith() || !yt.IsArith() {
+		c.errf(x.Pos(), "invalid operands to %s (%s and %s)", x.Op, xt, yt)
+		return ctypes.IntType
+	}
+	return ctypes.Common(xt, yt)
+}
+
+func isZeroLit(e ast.Expr) bool {
+	l, ok := e.(*ast.IntLit)
+	return ok && l.Value == 0
+}
+
+func isLvalue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Sym == nil || x.Sym.Kind == ast.SymGlobal ||
+			x.Sym.Kind == ast.SymLocal || x.Sym.Kind == ast.SymParam
+	case *ast.Index, *ast.Member:
+		return true
+	case *ast.Unary:
+		return x.Op == token.MUL
+	}
+	return false
+}
+
+func (c *checker) call(x *ast.Call, ctx valueCtx) ast.Expr {
+	// addrCtx is allowed: selecting a field of a struct-returning call
+	// (f().field) takes the address of the returned temporary.
+	if ctx == storeCtx || ctx == loadStoreCtx {
+		c.errf(x.Pos(), "call result is not assignable")
+	}
+	sym := c.lookup(x.Fun.Name)
+	if sym == nil {
+		c.errf(x.Pos(), "undefined function %s", x.Fun.Name)
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	x.Fun.Sym = sym
+	x.Fun.SetType(sym.Type)
+	if sym.Kind != ast.SymFunc && sym.Kind != ast.SymBuiltin {
+		c.errf(x.Pos(), "%s is not a function", x.Fun.Name)
+		x.SetType(ctypes.IntType)
+		return x
+	}
+	ft := sym.Type
+	if len(x.Args) != len(ft.Params) {
+		c.errf(x.Pos(), "%s expects %d arguments, got %d", x.Fun.Name, len(ft.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		x.Args[i] = c.expr(a, rvalue)
+		if i < len(ft.Params) {
+			c.checkAssignable(a.Pos(), ft.Params[i], x.Args[i])
+		}
+	}
+	switch sym.Builtin {
+	case ast.BMalloc, ast.BCalloc, ast.BRealloc:
+		c.allocID++
+		x.AllocSite = c.allocID
+		c.info.Allocs[c.allocID] = x
+		// The allocation defines the fresh block (see AccessSite.IsDef).
+		c.accessID++
+		x.Acc.Store = c.accessID
+		c.info.Accesses[c.accessID] = &AccessSite{
+			ID: c.accessID, IsStore: true, Node: x, Pos: x.Pos(), Func: c.fn,
+			Text: sym.Name + " (alloc)", Loops: append([]int(nil), c.loopStack...),
+			IsDef: true,
+		}
+	}
+	x.SetType(ft.Ret)
+	return x
+}
+
+// checkAssignable verifies that the value of rhs may be assigned to a
+// location of type lt, applying C's implicit conversion rules.
+func (c *checker) checkAssignable(pos token.Pos, lt *ctypes.Type, rhs ast.Expr) {
+	rt := rhs.ExprType()
+	if lt == nil || rt == nil {
+		return
+	}
+	if rt.Kind == ctypes.Array {
+		rt = ctypes.PointerTo(rt.Elem) // decay
+	}
+	switch {
+	case lt.IsArith() && rt.IsArith():
+	case lt.Kind == ctypes.Ptr && rt.Kind == ctypes.Ptr:
+		if !lt.Elem.Equal(rt.Elem) && lt.Elem.Kind != ctypes.Void && rt.Elem.Kind != ctypes.Void {
+			c.errf(pos, "incompatible pointer assignment: %s = %s", lt, rt)
+		}
+	case lt.Kind == ctypes.Ptr && isZeroLit(rhs):
+	case lt.Kind == ctypes.Struct && lt == rt:
+	case lt.Kind == ctypes.Void:
+	default:
+		c.errf(pos, "cannot assign %s to %s", rt, lt)
+	}
+}

@@ -1,0 +1,233 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/parser"
+)
+
+func TestStructParamsAndReturns(t *testing.T) {
+	mustCheck(t, `
+struct pair { int a; int b; };
+struct pair mk(int x) {
+    struct pair p;
+    p.a = x;
+    p.b = x + 1;
+    return p;
+}
+int use(struct pair p) { return p.a + p.b; }
+int main() {
+    struct pair v = mk(1);
+    return use(v) + mk(2).a;
+}`)
+}
+
+func TestVoidFunctions(t *testing.T) {
+	_, info := mustCheck(t, `
+int g;
+void bump() { g++; }
+void bump2() { g++; return; }
+int main() {
+    bump();
+    bump2();
+    return g;
+}`)
+	_ = info
+}
+
+func TestMissingReturnValue(t *testing.T) {
+	prog, err := parser.Parse("t.c", "int f() { return; } int main() { return f(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil || !strings.Contains(err.Error(), "missing return value") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPseudoVariables(t *testing.T) {
+	_, info := mustCheck(t, `
+int main() {
+    int n = __nthreads;
+    int t = __tid;
+    return n + t;
+}`)
+	if info.TID == nil || info.NTH == nil {
+		t.Fatal("pseudo symbols missing")
+	}
+	// Pseudo-variables are registers: no access sites on their reads.
+	for _, a := range info.Accesses {
+		if a.Text == "__tid" || a.Text == "__nthreads" {
+			t.Fatalf("pseudo-variable got an access site: %+v", a)
+		}
+	}
+}
+
+func TestPseudoVariablesReadOnly(t *testing.T) {
+	prog, err := parser.Parse("t.c", "int main() { __tid = 1; return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParamDefSites(t *testing.T) {
+	_, info := mustCheck(t, `
+int f(int a, int *p) { return a + *p; }
+int main() { int x = 1; return f(2, &x); }`)
+	defs := 0
+	for _, a := range info.Accesses {
+		if a.IsDef {
+			if d, ok := a.Node.(*ast.VarDecl); ok && d.Sym != nil && d.Sym.Kind == ast.SymParam {
+				defs++
+			}
+		}
+	}
+	if defs != 2 {
+		t.Fatalf("param def sites = %d, want 2", defs)
+	}
+}
+
+func TestAllocDefSites(t *testing.T) {
+	_, info := mustCheck(t, `
+int main() {
+    int *p = (int*)malloc(8);
+    p = (int*)realloc(p, 16);
+    free(p);
+    return 0;
+}`)
+	allocDefs := 0
+	for _, a := range info.Accesses {
+		if a.IsDef {
+			if _, ok := a.Node.(*ast.Call); ok {
+				allocDefs++
+			}
+		}
+	}
+	if allocDefs != 2 {
+		t.Fatalf("alloc def sites = %d, want 2 (malloc + realloc)", allocDefs)
+	}
+}
+
+func TestAccessLoopsLexical(t *testing.T) {
+	_, info := mustCheck(t, `
+int g;
+int helper() { return g; }
+int main() {
+	int i;
+	parallel for (i = 0; i < 4; i++) {
+		g = helper();
+	}
+	return 0;
+}`)
+	// The g load inside helper is lexically outside the loop.
+	for _, a := range info.Accesses {
+		if a.Text == "g" && !a.IsStore && a.Func != nil && a.Func.Name == "helper" {
+			if len(a.Loops) != 0 {
+				t.Fatalf("callee access has lexical loops %v", a.Loops)
+			}
+		}
+		if a.Text == "g" && a.IsStore {
+			if len(a.Loops) != 1 {
+				t.Fatalf("loop store has lexical loops %v", a.Loops)
+			}
+		}
+	}
+}
+
+func TestParallelForms(t *testing.T) {
+	// Accepted induction forms: i++, i += c, i = i + c.
+	for _, post := range []string{"i++", "i += 2", "i = i + 3"} {
+		src := `
+int main() {
+    int i;
+    int a[64];
+    parallel for (i = 0; i < 60; ` + post + `) { a[i] = 1; }
+    return 0;
+}`
+		prog, err := parser.Parse("t.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Check(prog); err != nil {
+			t.Fatalf("post %q rejected: %v", post, err)
+		}
+	}
+	// Rejected: decrement-only via i--.
+	prog, err := parser.Parse("t.c", `
+int main() {
+    int i;
+    parallel for (i = 4; i > 0; i--) { }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil {
+		t.Fatal("i-- post should be rejected (use i += -1)")
+	}
+}
+
+func TestShadowingScopes(t *testing.T) {
+	_, info := mustCheck(t, `
+int x;
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        x = 3;
+    }
+    return x;
+}`)
+	// Three distinct x symbols: one global, two locals.
+	syms := map[*ast.Symbol]bool{}
+	for _, a := range info.Accesses {
+		if id, ok := a.Node.(*ast.Ident); ok && id.Name == "x" {
+			syms[id.Sym] = true
+		}
+		if d, ok := a.Node.(*ast.VarDecl); ok && d.Name == "x" {
+			syms[d.Sym] = true
+		}
+	}
+	if len(syms) < 2 {
+		t.Fatalf("shadowed x symbols = %d", len(syms))
+	}
+}
+
+func TestCharTypeOfStringIndex(t *testing.T) {
+	prog, _ := mustCheck(t, `
+int main() {
+    char *s = "ab";
+    return s[0];
+}`)
+	var idx *ast.Index
+	ast.Inspect(prog, func(n ast.Node) bool {
+		if i, ok := n.(*ast.Index); ok {
+			idx = i
+		}
+		return true
+	})
+	if idx.ExprType().Kind != ctypes.Char {
+		t.Fatalf("s[0] type = %v", idx.ExprType())
+	}
+}
+
+func TestParallelBoundsMustBePure(t *testing.T) {
+	for _, src := range []string{
+		`int f() { return 4; } int main() { int i; int a[8]; parallel for (i = 0; i < f(); i++) { a[i] = 1; } return 0; }`,
+		`int f() { return 2; } int main() { int i; int a[99]; parallel for (i = 0; i < 8; i += f()) { a[i] = 1; } return 0; }`,
+	} {
+		prog, err := parser.Parse("t.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Check(prog); err == nil || !strings.Contains(err.Error(), "pure expression") {
+			t.Fatalf("impure bounds accepted: %v", err)
+		}
+	}
+}

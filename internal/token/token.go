@@ -1,0 +1,212 @@
+// Package token defines the lexical tokens of MiniC, the C subset used
+// as the source language for general data structure expansion, together
+// with source positions for diagnostics.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of MiniC token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123, 0x7f
+	FLOAT  // 1.5, 2e10
+	CHAR   // 'a'
+	STRING // "abc"
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND // &
+	OR  // |
+	XOR // ^
+	SHL // <<
+	SHR // >>
+	NOT // ~
+
+	LAND // &&
+	LOR  // ||
+	LNOT // !
+
+	EQL // ==
+	NEQ // !=
+	LSS // <
+	GTR // >
+	LEQ // <=
+	GEQ // >=
+
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	QUOASSIGN // /=
+	REMASSIGN // %=
+	ANDASSIGN // &=
+	ORASSIGN  // |=
+	XORASSIGN // ^=
+	SHLASSIGN // <<=
+	SHRASSIGN // >>=
+	INC       // ++
+	DEC       // --
+	ARROW     // ->
+	DOT       // .
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	QUESTION  // ?
+	LPAREN    // (
+	RPAREN    // )
+	LBRACK    // [
+	RBRACK    // ]
+	LBRACE    // {
+	RBRACE    // }
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwFloat
+	KwDouble
+	KwUnsigned
+	KwStruct
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSizeof
+	KwParallel // "parallel" loop annotation (DOALL)
+	KwDoacross // "doacross" modifier for parallel loops
+	KwStatic
+	KwConst
+	KwExtern
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", CHAR: "CHAR", STRING: "STRING",
+	ADD: "+", SUB: "-", MUL: "*", QUO: "/", REM: "%",
+	AND: "&", OR: "|", XOR: "^", SHL: "<<", SHR: ">>", NOT: "~",
+	LAND: "&&", LOR: "||", LNOT: "!",
+	EQL: "==", NEQ: "!=", LSS: "<", GTR: ">", LEQ: "<=", GEQ: ">=",
+	ASSIGN: "=", ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=",
+	QUOASSIGN: "/=", REMASSIGN: "%=", ANDASSIGN: "&=", ORASSIGN: "|=",
+	XORASSIGN: "^=", SHLASSIGN: "<<=", SHRASSIGN: ">>=",
+	INC: "++", DEC: "--", ARROW: "->", DOT: ".", COMMA: ",",
+	SEMICOLON: ";", COLON: ":", QUESTION: "?",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{", RBRACE: "}",
+	KwVoid: "void", KwChar: "char", KwShort: "short", KwInt: "int",
+	KwLong: "long", KwFloat: "float", KwDouble: "double", KwUnsigned: "unsigned",
+	KwStruct: "struct", KwTypedef: "typedef",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do", KwFor: "for",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return",
+	KwSizeof: "sizeof", KwParallel: "parallel", KwDoacross: "doacross",
+	KwStatic: "static", KwConst: "const", KwExtern: "extern",
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{}
+
+func init() {
+	for k := KwVoid; k <= KwExtern; k++ {
+		Keywords[kindNames[k]] = k
+	}
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k >= KwVoid && k <= KwExtern }
+
+// IsAssign reports whether k is an assignment operator (including
+// compound assignments such as += and <<=).
+func (k Kind) IsAssign() bool { return k >= ASSIGN && k <= SHRASSIGN }
+
+// CompoundOp returns the underlying binary operator of a compound
+// assignment (ADD for ADDASSIGN, and so on). It panics for plain ASSIGN
+// and for non-assignment kinds.
+func (k Kind) CompoundOp() Kind {
+	switch k {
+	case ADDASSIGN:
+		return ADD
+	case SUBASSIGN:
+		return SUB
+	case MULASSIGN:
+		return MUL
+	case QUOASSIGN:
+		return QUO
+	case REMASSIGN:
+		return REM
+	case ANDASSIGN:
+		return AND
+	case ORASSIGN:
+		return OR
+	case XORASSIGN:
+		return XOR
+	case SHLASSIGN:
+		return SHL
+	case SHRASSIGN:
+		return SHR
+	}
+	panic("token: not a compound assignment: " + k.String())
+}
+
+// Pos is a source position, 1-based in both line and column.
+// The zero Pos is "no position".
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real location data.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String formats the position as file:line:col, omitting empty parts.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its position and literal text.
+// Lit holds the raw source spelling for IDENT, INT, FLOAT, CHAR and
+// STRING tokens; it is empty for operators and keywords.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string
+}
+
+func (t Token) String() string {
+	if t.Lit != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

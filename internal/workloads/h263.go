@@ -1,0 +1,175 @@
+package workloads
+
+// H263Enc reproduces the MediaBench II h263-encoder, whose two hot
+// loops the paper parallelizes separately (Table 4 lists NextTwoPB and
+// MotionEstimatePicture, both DOALL at level 2). Between them six
+// shared scratch structures are privatized (Table 5: h263-encoder = 6):
+// three SAD/decision buffers in NextTwoPB and three candidate buffers
+// in MotionEstimatePicture.
+func H263Enc() *Workload {
+	return &Workload{
+		Name:            "h263-encoder",
+		Suite:           "MediaBench II",
+		Func:            "NextTwoPB",
+		Level:           2,
+		Parallelism:     "DOALL",
+		PaperPrivatized: 6,
+		PaperTimePct:    80.3, // 43.2% + 37.1% across the two loops
+		Source:          h263Source,
+	}
+}
+
+func h263Source(s Scale) string {
+	mbs := pick(s, 4, 8, 170)
+	frames := pick(s, 2, 3, 6)
+	return sprintf(h263Template, mbs, frames)
+}
+
+// Template parameters: %[1]d = macroblocks per frame, %[2]d = frames.
+const h263Template = `
+int prevFrame[4096];
+int nextFrame[4096];
+int interpFrame[4096];
+
+// NextTwoPB scratch (3 privatized structures).
+int sadB[64];
+int sadFwd[64];
+int sadBwd[64];
+
+// MotionEstimatePicture scratch (3 privatized structures).
+int mvCand[49];
+int mvCost[49];
+int mePred[64];
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initFrames() {
+    seed = 99;
+    int i;
+    for (i = 0; i < 4096; i++) {
+        prevFrame[i] = nextRand() %% 255;
+        nextFrame[i] = (prevFrame[i] * 3 + nextRand() %% 17) %% 255;
+        interpFrame[i] = (prevFrame[i] + nextFrame[i]) / 2;
+    }
+}
+
+int clampPix(int idx) {
+    if (idx < 0) { return 0; }
+    if (idx >= 4096) { return 4095; }
+    return idx;
+}
+
+// modeDecision decides the B/forward/backward coding mode for one MB.
+int modeDecision(int mb) {
+    int basePix = (mb * 64) %% 4096;
+    int k;
+    for (k = 0; k < 64; k++) {
+        int p = prevFrame[clampPix(basePix + k)];
+        int n = nextFrame[clampPix(basePix + k)];
+        int b = interpFrame[clampPix(basePix + k)];
+        int db = n - b;
+        int df = n - p;
+        int dw = p - b;
+        if (db < 0) { db = 0 - db; }
+        if (df < 0) { df = 0 - df; }
+        if (dw < 0) { dw = 0 - dw; }
+        sadB[k] = db;
+        sadFwd[k] = df;
+        sadBwd[k] = dw;
+    }
+    int sb = 0;
+    int sf = 0;
+    int sw = 0;
+    for (k = 0; k < 64; k++) {
+        sb += sadB[k];
+        sf += sadFwd[k];
+        sw += sadBwd[k];
+    }
+    if (sb <= sf && sb <= sw) { return 0 * 65536 + sb; }
+    if (sf <= sw) { return 1 * 65536 + sf; }
+    return 2 * 65536 + sw;
+}
+
+// searchMB searches motion vectors for one macroblock.
+int searchMB(int mb) {
+    int basePix = (mb * 64) %% 4096;
+    int n = 0;
+    int dx;
+    int dy;
+    for (dy = -3; dy <= 3; dy++) {
+        for (dx = -3; dx <= 3; dx++) {
+            mvCand[n] = dy * 64 + dx;
+            n++;
+        }
+    }
+    int c;
+    int best = 0;
+    for (c = 0; c < n; c++) {
+        int k;
+        int cost = 0;
+        for (k = 0; k < 64; k++) {
+            int cur = nextFrame[clampPix(basePix + k)];
+            int ref = prevFrame[clampPix(basePix + k + mvCand[c])];
+            int d = cur - ref;
+            if (d < 0) { d = 0 - d; }
+            cost += d;
+        }
+        mvCost[c] = cost;
+        if (mvCost[c] < mvCost[best]) {
+            best = c;
+        }
+    }
+    int k;
+    int acc = 0;
+    for (k = 0; k < 64; k++) {
+        mePred[k] = prevFrame[clampPix(basePix + k + mvCand[best])];
+        acc += mePred[k];
+    }
+    return mvCost[best] * 16 + mvCand[best] + acc %% 13;
+}
+
+// NextTwoPB decides coding modes for one frame's macroblocks; its
+// parallel loop is at level 2 (frame, macroblock), as in the paper.
+void NextTwoPB(int *modes, int frame, int mbs) {
+    int mb;
+    parallel for (mb = 0; mb < mbs; mb++) {
+        modes[frame * mbs + mb] = modeDecision(frame * mbs + mb);
+    }
+}
+
+// MotionEstimatePicture searches motion vectors for one frame.
+void MotionEstimatePicture(int *vectors, int frame, int mbs) {
+    int mb;
+    parallel for (mb = 0; mb < mbs; mb++) {
+        vectors[frame * mbs + mb] = searchMB(frame * mbs + mb);
+    }
+}
+
+int main() {
+    initFrames();
+    int total = %[1]d * %[2]d;
+    int *modes = (int*)malloc(total * 4);
+    int *vectors = (int*)malloc(total * 4);
+    int frame;
+    for (frame = 0; frame < %[2]d; frame++) {
+        NextTwoPB(modes, frame, %[1]d);
+        MotionEstimatePicture(vectors, frame, %[1]d);
+    }
+    long out = 0;
+    int mb;
+    for (mb = 0; mb < total; mb++) {
+        out = out * 37 + modes[mb] + vectors[mb] * 3;
+    }
+    print_str("h263-encoder ");
+    print_long(out);
+    print_char('\n');
+    free(modes);
+    free(vectors);
+    return 0;
+}
+`

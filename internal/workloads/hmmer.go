@@ -1,0 +1,177 @@
+package workloads
+
+// Hmmer reproduces SPEC CPU2006 456.hmmer's main_loop_serial: a
+// DOACROSS loop scores one synthetic protein sequence per iteration
+// against a profile HMM with a Viterbi dynamic program. Eight shared
+// structures are rewritten by every iteration (Table 5: 456.hmmer = 8):
+// the digitized sequence, the three DP rows (match/insert/delete), the
+// special-state vector, the trace and score buffers, and the mx
+// scratch buffer — which is allocated before the loop at one of two
+// runtime-sized allocation sites, the paper's Figure 3 case that forces
+// fat-pointer promotion with runtime spans. The running best score is
+// tracked across iterations, forming the ordered section.
+func Hmmer() *Workload {
+	return &Workload{
+		Name:            "456.hmmer",
+		Suite:           "SPEC CPU2006",
+		Func:            "main_loop_serial",
+		Level:           2,
+		Parallelism:     "DOACROSS",
+		PaperPrivatized: 8,
+		PaperTimePct:    99.9,
+		Source:          hmmerSource,
+	}
+}
+
+func hmmerSource(s Scale) string {
+	m := pick(s, 16, 24, 48) // model length
+	l := pick(s, 24, 32, 64) // sequence length
+	n := pick(s, 6, 14, 220) // sequences
+	return sprintf(hmmerTemplate, m, l, n)
+}
+
+// Template parameters: %[1]d = model length M, %[2]d = sequence length
+// L, %[3]d = sequence count.
+const hmmerTemplate = `
+int M = %[1]d;
+int L = %[2]d;
+
+int matScore[%[1]d * 20];
+int insScore[%[1]d * 20];
+int trMove[%[1]d * 8];
+
+// The eight structures privatized per sequence.
+int dsq[%[2]d];
+int mmx[%[1]d + 1];
+int imx[%[1]d + 1];
+int dmx[%[1]d + 1];
+int xmx[5];
+int tr[%[2]d + %[1]d];
+int sc[%[2]d];
+// ...plus the mx scratch buffer allocated in main_loop_serial.
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initModel() {
+    seed = 456;
+    int k;
+    for (k = 0; k < M * 20; k++) {
+        matScore[k] = nextRand() %% 64 - 24;
+        insScore[k] = nextRand() %% 32 - 20;
+    }
+    for (k = 0; k < M * 8; k++) {
+        trMove[k] = nextRand() %% 16 - 10;
+    }
+}
+
+int max2(int a, int b) {
+    if (a > b) { return a; }
+    return b;
+}
+
+int viterbi(int s, int *mx) {
+    int i;
+    int k;
+    // Digitize the sequence into the shared buffer.
+    long sq = s * 2654435761 + 12345;
+    for (i = 0; i < L; i++) {
+        sq = sq * 6364136223846793005 + 1442695040888963407;
+        dsq[i] = (int)((sq >> 33) %% 20);
+        if (dsq[i] < 0) { dsq[i] = 0 - dsq[i]; }
+    }
+    for (k = 0; k <= M; k++) {
+        mmx[k] = -100000;
+        imx[k] = -100000;
+        dmx[k] = -100000;
+    }
+    mmx[0] = 0;
+    xmx[0] = 0;
+    xmx[1] = -100000;
+    xmx[2] = -100000;
+    xmx[3] = -100000;
+    xmx[4] = -100000;
+    int ntr = 0;
+    for (i = 0; i < L; i++) {
+        int x = dsq[i];
+        int prevM = mmx[0];
+        int prevI = imx[0];
+        int prevD = dmx[0];
+        mmx[0] = xmx[0];
+        for (k = 1; k <= M; k++) {
+            int curM = mmx[k];
+            int curI = imx[k];
+            int curD = dmx[k];
+            int best = max2(prevM + trMove[(k - 1) * 8],
+                            max2(prevI + trMove[(k - 1) * 8 + 1],
+                                 prevD + trMove[(k - 1) * 8 + 2]));
+            mmx[k] = best + matScore[(k - 1) * 20 + x];
+            imx[k] = max2(curM + trMove[(k - 1) * 8 + 3],
+                          curI + trMove[(k - 1) * 8 + 4]) + insScore[(k - 1) * 20 + x];
+            dmx[k] = max2(mmx[k - 1] + trMove[(k - 1) * 8 + 5],
+                          dmx[k - 1] + trMove[(k - 1) * 8 + 6]);
+            // Record the winning move in the mx scratch row.
+            mx[k %% (M + 1)] = best;
+            prevM = curM;
+            prevI = curI;
+            prevD = curD;
+        }
+        xmx[1] = max2(xmx[1], mmx[M]);
+        sc[i] = xmx[1];
+        if (ntr < L + M) {
+            // Indices 1..M only: every one is written by the k loop of
+            // this same iteration before this read.
+            tr[ntr] = mx[i %% M + 1];
+            ntr++;
+        }
+    }
+    int total = xmx[1];
+    for (i = 0; i < L; i++) {
+        total += sc[i] / 64;
+    }
+    for (i = 0; i < ntr; i++) {
+        total += tr[i] / 256;
+    }
+    return total;
+}
+
+int main_loop_serial(int nseq) {
+    // Figure 3: the scratch buffer comes from one of two differently
+    // sized allocation sites; the choice is made at run time, so its
+    // span is only known dynamically.
+    int *mx;
+    int m1 = (M + 1) * 4;
+    int m2 = (M + 1) * 8 + nextRand() %% 8 * 4;
+    if (nextRand() %% 2 == 0) {
+        mx = (int*)malloc(m1);
+    } else {
+        mx = (int*)malloc(m2);
+    }
+    int best = -100000000;
+    int bestIdx = -1;
+    long hist = 0;
+    int s;
+    parallel doacross for (s = 0; s < nseq; s++) {
+        int score = viterbi(s, mx);
+        if (score > best) {
+            best = score;
+            bestIdx = s;
+        }
+        hist = hist * 31 + score;
+    }
+    free(mx);
+    print_str("456.hmmer ");
+    print_long(hist * 1000 + best %% 997 + bestIdx);
+    print_char('\n');
+    return 0;
+}
+
+int main() {
+    initModel();
+    return main_loop_serial(%[3]d);
+}
+`

@@ -1,0 +1,138 @@
+package workloads
+
+// LBM reproduces SPEC CPU2006 470.lbm's performStreamCollide: a DOALL
+// loop over grid rows streams and collides a D2Q9 lattice-Boltzmann
+// distribution from a source grid into a destination grid. Two shared
+// per-cell scratch structures are privatized (Table 5: 470.lbm = 2):
+// the equilibrium distribution feq[9] and the velocity vector uv[2].
+// The loop is extremely memory-intensive — the paper reports its
+// speedup plateauing beyond 4 cores on memory bandwidth, which the
+// schedule simulator's bandwidth bound reproduces.
+func LBM() *Workload {
+	return &Workload{
+		Name:            "470.lbm",
+		Suite:           "SPEC CPU2006",
+		Func:            "performStreamCollide",
+		Level:           2,
+		Parallelism:     "DOALL",
+		PaperPrivatized: 2,
+		PaperTimePct:    99.1,
+		Source:          lbmSource,
+	}
+}
+
+func lbmSource(s Scale) string {
+	w := pick(s, 12, 16, 40)
+	h := pick(s, 8, 12, 40)
+	steps := pick(s, 2, 3, 12)
+	return sprintf(lbmTemplate, w, h, steps)
+}
+
+// Template parameters: %[1]d = width, %[2]d = height, %[3]d = steps.
+const lbmTemplate = `
+int W = %[1]d;
+int H = %[2]d;
+
+// The two structures privatized per cell update.
+double feq[9];
+double uv[2];
+
+int cx[9];
+int cy[9];
+double wgt[9];
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initLattice() {
+    cx[0] = 0;  cy[0] = 0;  wgt[0] = 0.444444;
+    cx[1] = 1;  cy[1] = 0;  wgt[1] = 0.111111;
+    cx[2] = 0;  cy[2] = 1;  wgt[2] = 0.111111;
+    cx[3] = -1; cy[3] = 0;  wgt[3] = 0.111111;
+    cx[4] = 0;  cy[4] = -1; wgt[4] = 0.111111;
+    cx[5] = 1;  cy[5] = 1;  wgt[5] = 0.027778;
+    cx[6] = -1; cy[6] = 1;  wgt[6] = 0.027778;
+    cx[7] = -1; cy[7] = -1; wgt[7] = 0.027778;
+    cx[8] = 1;  cy[8] = -1; wgt[8] = 0.027778;
+}
+
+void initGrid(double *grid) {
+    seed = 470;
+    int i;
+    for (i = 0; i < W * H * 9; i++) {
+        grid[i] = wgt[i %% 9] * (1.0 + (double)(nextRand() %% 100) / 1000.0);
+    }
+}
+
+void performStreamCollide(double *src, double *dst) {
+    int y;
+    parallel for (y = 0; y < H; y++) {
+        int x;
+        for (x = 0; x < W; x++) {
+            int cell = (y * W + x) * 9;
+            // Macroscopic density and velocity.
+            double rho = 0.0;
+            double ux = 0.0;
+            double uy_ = 0.0;
+            int q;
+            for (q = 0; q < 9; q++) {
+                double f = src[cell + q];
+                rho += f;
+                ux += f * (double)cx[q];
+                uy_ += f * (double)cy[q];
+            }
+            if (rho < 0.000001) { rho = 0.000001; }
+            uv[0] = ux / rho;
+            uv[1] = uy_ / rho;
+            double usq = uv[0] * uv[0] + uv[1] * uv[1];
+            // Equilibrium distribution.
+            for (q = 0; q < 9; q++) {
+                double cu = uv[0] * (double)cx[q] + uv[1] * (double)cy[q];
+                feq[q] = wgt[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq);
+            }
+            // Collide and stream into the destination grid.
+            for (q = 0; q < 9; q++) {
+                int nx = (x + cx[q] + W) %% W;
+                int ny = (y + cy[q] + H) %% H;
+                double f = src[cell + q];
+                dst[(ny * W + nx) * 9 + q] = f - (f - feq[q]) / 1.85;
+            }
+        }
+    }
+}
+
+int main() {
+    initLattice();
+    double *g0 = (double*)malloc(W * H * 9 * 8);
+    double *g1 = (double*)malloc(W * H * 9 * 8);
+    initGrid(g0);
+    int t;
+    for (t = 0; t < %[3]d; t++) {
+        if (t %% 2 == 0) {
+            performStreamCollide(g0, g1);
+        } else {
+            performStreamCollide(g1, g0);
+        }
+    }
+    double mass = 0.0;
+    double mom = 0.0;
+    int i;
+    double *final = g0;
+    if (%[3]d %% 2 == 1) { final = g1; }
+    for (i = 0; i < W * H * 9; i++) {
+        mass += final[i];
+        mom += final[i] * (double)cx[i %% 9];
+    }
+    long out = (long)(mass * 1000.0) * 100000 + (long)(mom * 1000.0);
+    print_str("470.lbm ");
+    print_long(out);
+    print_char('\n');
+    free(g0);
+    free(g1);
+    return 0;
+}
+`

@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// MD5 reproduces MiBench's md5 usage pattern: a DOALL loop hashes many
+// independent messages. Every message is expanded into a shared global
+// message-schedule buffer M[16] that is rewritten by each iteration —
+// the single dynamic data structure the paper privatizes for md5
+// (Table 5: md5 = 1).
+func MD5() *Workload {
+	return &Workload{
+		Name:            "md5",
+		Suite:           "MiBench",
+		Func:            "main",
+		Level:           1,
+		Parallelism:     "DOALL",
+		PaperPrivatized: 1,
+		PaperTimePct:    99.8,
+		Source:          md5Source,
+	}
+}
+
+// md5Tables emits the MD5 K table and shift schedule as MiniC
+// statements (MiniC has no array initializers).
+func md5Tables() string {
+	var sb strings.Builder
+	for i := 0; i < 64; i++ {
+		k := uint32(math.Floor(math.Abs(math.Sin(float64(i+1))) * 4294967296.0))
+		fmt.Fprintf(&sb, "    K[%d] = %d;\n", i, int64(k))
+	}
+	shifts := [4][4]int{
+		{7, 12, 17, 22},
+		{5, 9, 14, 20},
+		{4, 11, 16, 23},
+		{6, 10, 15, 21},
+	}
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, "    S[%d] = %d;\n", i, shifts[i/16][i%4])
+	}
+	return sb.String()
+}
+
+func md5Source(s Scale) string {
+	msgs := pick(s, 12, 40, 1400)
+	blocks := pick(s, 2, 3, 4)
+	return sprintf(md5Template, md5Tables(), msgs, blocks)
+}
+
+// Template parameters: %[1]s = table init statements, %[2]d = message
+// count, %[3]d = blocks per message.
+const md5Template = `
+unsigned int K[64];
+int S[64];
+unsigned int M[16];
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initTables() {
+%[1]s
+}
+
+unsigned int rotl(unsigned int x, int c) {
+    return (x << c) | (x >> (32 - c));
+}
+
+unsigned int md5Message(int msg, int nblocks) {
+    unsigned int a0 = 1732584193;
+    unsigned int b0 = 4023233417;
+    unsigned int c0 = 2562383102;
+    unsigned int d0 = 271733878;
+    int blk;
+    for (blk = 0; blk < nblocks; blk++) {
+        // Expand the message block into the shared schedule buffer.
+        int w;
+        unsigned int x = (unsigned int)(msg * 2654435761 + blk * 40503 + 12345);
+        for (w = 0; w < 16; w++) {
+            x = x * 1664525 + 1013904223;
+            M[w] = x;
+        }
+        unsigned int A = a0;
+        unsigned int B = b0;
+        unsigned int C = c0;
+        unsigned int D = d0;
+        int i;
+        for (i = 0; i < 64; i++) {
+            unsigned int F;
+            int g;
+            if (i < 16) {
+                F = (B & C) | (~B & D);
+                g = i;
+            } else if (i < 32) {
+                F = (D & B) | (~D & C);
+                g = (5 * i + 1) %% 16;
+            } else if (i < 48) {
+                F = B ^ C ^ D;
+                g = (3 * i + 5) %% 16;
+            } else {
+                F = C ^ (B | ~D);
+                g = (7 * i) %% 16;
+            }
+            F = F + A + K[i] + M[g];
+            A = D;
+            D = C;
+            C = B;
+            B = B + rotl(F, S[i]);
+        }
+        a0 = a0 + A;
+        b0 = b0 + B;
+        c0 = c0 + C;
+        d0 = d0 + D;
+    }
+    return a0 ^ b0 ^ c0 ^ d0;
+}
+
+int main() {
+    initTables();
+    unsigned int *digests = (unsigned int*)malloc(%[2]d * 4);
+    int msg;
+    parallel for (msg = 0; msg < %[2]d; msg++) {
+        digests[msg] = md5Message(msg, %[3]d);
+    }
+    unsigned int out = 0;
+    for (msg = 0; msg < %[2]d; msg++) {
+        out = out * 31 + digests[msg];
+    }
+    print_str("md5 ");
+    print_long((long)out);
+    print_char('\n');
+    free(digests);
+    return 0;
+}
+`

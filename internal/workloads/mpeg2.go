@@ -1,0 +1,289 @@
+package workloads
+
+// MPEG2Enc reproduces the MediaBench II mpeg2-encoder motion-estimation
+// loop: a DOALL loop over macroblocks performs a full search over a
+// reference window, using seven shared scratch structures that every
+// iteration rewrites (Table 5: mpeg2-encoder = 7). As in the original,
+// the candidate loop sits at nesting level 3: main's picture loop,
+// the slice loop, and the parallel macroblock loop inside
+// motion_estimation.
+func MPEG2Enc() *Workload {
+	return &Workload{
+		Name:            "mpeg2-encoder",
+		Suite:           "MediaBench II",
+		Func:            "motion_estimation",
+		Level:           3,
+		Parallelism:     "DOALL",
+		PaperPrivatized: 7,
+		PaperTimePct:    70.6,
+		Source:          mpeg2encSource,
+	}
+}
+
+func mpeg2encSource(s Scale) string {
+	mbsPerSlice := pick(s, 4, 8, 30)
+	window := pick(s, 2, 3, 4)
+	return sprintf(mpeg2encTemplate, mbsPerSlice, window)
+}
+
+// Template parameters: %[1]d = macroblocks per slice, %[2]d = search
+// radius. The program processes 2 pictures x 2 slices.
+const mpeg2encTemplate = `
+int WIDTH = 128;
+int HEIGHT = 64;
+
+int refFrame[8192];
+int curFrame[8192];
+
+// The seven scratch structures privatized per macroblock.
+int diffBuf[256];
+int predBuf[256];
+int sadRow[16];
+int candX[81];
+int candY[81];
+int costTab[81];
+int bestVec[4];
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initFrames() {
+    seed = 7;
+    int i;
+    for (i = 0; i < 8192; i++) {
+        refFrame[i] = nextRand() %% 255;
+        curFrame[i] = (refFrame[i] + nextRand() %% 9) %% 255;
+    }
+}
+
+int pixelAt(int *frame, int x, int y) {
+    if (x < 0) { x = 0; }
+    if (y < 0) { y = 0; }
+    if (x >= 128) { x = 127; }
+    if (y >= 64) { y = 63; }
+    return frame[y * 128 + x];
+}
+
+int estimateMB(int mb, int radius) {
+    int mbx = (mb * 16) %% 112;
+    int mby = ((mb * 16) / 112 * 16) %% 48;
+    int ncand = 0;
+    int dx;
+    int dy;
+    // Enumerate candidate vectors.
+    for (dy = 0 - radius; dy <= radius; dy++) {
+        for (dx = 0 - radius; dx <= radius; dx++) {
+            candX[ncand] = dx;
+            candY[ncand] = dy;
+            ncand++;
+        }
+    }
+    int best = 0;
+    int bestSad = 99999999;
+    int c;
+    for (c = 0; c < ncand; c++) {
+        int sad = 0;
+        int row;
+        for (row = 0; row < 16; row++) {
+            int col;
+            int rowSad = 0;
+            for (col = 0; col < 16; col++) {
+                int cv = pixelAt(curFrame, mbx + col, mby + row);
+                int rv = pixelAt(refFrame, mbx + col + candX[c], mby + row + candY[c]);
+                int d = cv - rv;
+                if (d < 0) { d = 0 - d; }
+                diffBuf[row * 16 + col] = d;
+                rowSad += d;
+            }
+            sadRow[row] = rowSad;
+            sad += rowSad;
+        }
+        costTab[c] = sad + (candX[c] * candX[c] + candY[c] * candY[c]) / 4;
+        if (costTab[c] < bestSad) {
+            bestSad = costTab[c];
+            best = c;
+        }
+    }
+    // Build the prediction for the winning vector.
+    int row;
+    int residual = 0;
+    for (row = 0; row < 16; row++) {
+        int col;
+        for (col = 0; col < 16; col++) {
+            predBuf[row * 16 + col] = pixelAt(refFrame, mbx + col + candX[best], mby + row + candY[best]);
+            residual += diffBuf[row * 16 + col];
+        }
+    }
+    bestVec[0] = candX[best];
+    bestVec[1] = candY[best];
+    bestVec[2] = bestSad;
+    bestVec[3] = residual;
+    return bestSad * 8 + bestVec[0] * 2 + bestVec[1] + predBuf[0] %% 7;
+}
+
+// motion_estimation processes one slice: the candidate loop over its
+// macroblocks is at nesting level 3 (picture, slice, macroblock), as
+// in the original encoder.
+void motion_estimation(int *mvOut, int slice, int mbs, int radius) {
+    int mb;
+    parallel for (mb = 0; mb < mbs; mb++) {
+        mvOut[slice * mbs + mb] = estimateMB(slice * mbs + mb, radius);
+    }
+}
+
+int main() {
+    initFrames();
+    int PICS = 2;
+    int SLICES = 2;
+    int mbs = %[1]d;
+    int *mvOut = (int*)malloc(4 * %[1]d * 4);
+    long out = 0;
+    int pic;
+    for (pic = 0; pic < PICS; pic++) {
+        int slice;
+        for (slice = 0; slice < SLICES; slice++) {
+            motion_estimation(mvOut, pic * SLICES + slice, mbs, %[2]d);
+        }
+    }
+    int mb;
+    for (mb = 0; mb < 4 * %[1]d; mb++) {
+        out = out * 33 + mvOut[mb];
+    }
+    print_str("mpeg2-encoder ");
+    print_long(out);
+    print_char('\n');
+    free(mvOut);
+    return 0;
+}
+`
+
+// MPEG2Dec reproduces the MediaBench II mpeg2-decoder picture-data
+// loop: a DOALL loop over coded blocks dequantizes coefficients into a
+// shared block buffer, applies a row/column integer transform through
+// two more shared scratch buffers, and emits reconstructed samples
+// (Table 5: mpeg2-decoder = 3 privatized structures).
+func MPEG2Dec() *Workload {
+	return &Workload{
+		Name:            "mpeg2-decoder",
+		Suite:           "MediaBench II",
+		Func:            "picture_data",
+		Level:           2,
+		Parallelism:     "DOALL",
+		PaperPrivatized: 3,
+		PaperTimePct:    97.8,
+		Source:          mpeg2decSource,
+	}
+}
+
+func mpeg2decSource(s Scale) string {
+	blocksPerPic := pick(s, 6, 16, 325)
+	passes := pick(s, 2, 2, 3)
+	return sprintf(mpeg2decTemplate, blocksPerPic, passes)
+}
+
+// Template parameters: %[1]d = blocks per picture, %[2]d = transform
+// passes. The program decodes 4 pictures.
+const mpeg2decTemplate = `
+int qmatrix[64];
+int coeffs[64];
+
+// The three structures privatized per block.
+int block[64];
+int idctTmp[64];
+int rowBuf[8];
+
+long seed;
+
+int nextRand() {
+    seed = seed * 1103515245 + 12345;
+    return (int)((seed >> 16) & 32767);
+}
+
+void initStream() {
+    seed = 1234;
+    int i;
+    for (i = 0; i < 64; i++) {
+        qmatrix[i] = 8 + nextRand() %% 24;
+        coeffs[i] = nextRand() %% 256 - 128;
+    }
+}
+
+int decodeBlock(int b, int passes) {
+    int i;
+    // Dequantize into the shared block buffer.
+    for (i = 0; i < 64; i++) {
+        int c = coeffs[(i + b * 17) %% 64];
+        block[i] = c * qmatrix[i] / 16 + (b & 3);
+    }
+    int p;
+    for (p = 0; p < passes; p++) {
+        // Row transform (butterfly-style integer approximation).
+        int r;
+        for (r = 0; r < 8; r++) {
+            int k;
+            for (k = 0; k < 8; k++) {
+                rowBuf[k] = block[r * 8 + k];
+            }
+            for (k = 0; k < 4; k++) {
+                int a = rowBuf[k] + rowBuf[7 - k];
+                int d = rowBuf[k] - rowBuf[7 - k];
+                idctTmp[r * 8 + k] = a * 181 / 256 + d / 8;
+                idctTmp[r * 8 + 7 - k] = a / 8 - d * 181 / 256;
+            }
+        }
+        // Column transform back into block.
+        int c;
+        for (c = 0; c < 8; c++) {
+            int k;
+            for (k = 0; k < 4; k++) {
+                int a = idctTmp[k * 8 + c] + idctTmp[(7 - k) * 8 + c];
+                int d = idctTmp[k * 8 + c] - idctTmp[(7 - k) * 8 + c];
+                block[k * 8 + c] = a * 181 / 256 + d / 8;
+                block[(7 - k) * 8 + c] = a / 8 - d * 181 / 256;
+            }
+        }
+    }
+    int sum = 0;
+    for (i = 0; i < 64; i++) {
+        int v = block[i];
+        if (v < -255) { v = -255; }
+        if (v > 255) { v = 255; }
+        sum = sum * 3 + v;
+    }
+    return sum;
+}
+
+// picture_data decodes one picture's blocks: the candidate loop is at
+// nesting level 2 (picture, block), as in the original decoder.
+void picture_data(int *recon, int pic, int blocks, int passes) {
+    int b;
+    parallel for (b = 0; b < blocks; b++) {
+        recon[pic * blocks + b] = decodeBlock(pic * blocks + b, passes);
+    }
+}
+
+int main() {
+    initStream();
+    int PICS = 4;
+    int blocks = %[1]d;
+    int *recon = (int*)malloc(4 * %[1]d * 4);
+    int pic;
+    for (pic = 0; pic < PICS; pic++) {
+        picture_data(recon, pic, blocks, %[2]d);
+    }
+    long out = 0;
+    int b;
+    for (b = 0; b < 4 * %[1]d; b++) {
+        out = out * 131 + recon[b];
+    }
+    print_str("mpeg2-decoder ");
+    print_long(out);
+    print_char('\n');
+    free(recon);
+    return 0;
+}
+`

@@ -1,0 +1,121 @@
+package workloads_test
+
+// Signature tests: each workload must exercise the specific paper
+// mechanism it was designed around, visible in its transformed source.
+
+import (
+	"strings"
+	"testing"
+
+	"gdsx"
+	"gdsx/internal/workloads"
+)
+
+func transformed(t *testing.T, name string) (*gdsx.TransformResult, string) {
+	t.Helper()
+	w := workloads.ByName(name)
+	prog, err := gdsx.Compile(name+".c", w.Source(workloads.Test))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tr, err := gdsx.Transform(prog, gdsx.TransformOptions{})
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	return tr, tr.Source
+}
+
+func TestBzip2SignatureRecastAndParamPromotion(t *testing.T) {
+	tr, src := transformed(t, "256.bzip2")
+	// zptr is passed as a promoted fat-pointer parameter...
+	if !strings.Contains(src, "struct __fat_int zptr") {
+		t.Errorf("zptr parameter not promoted:\n%s", src)
+	}
+	// ...and its short* recast view is redirected too (bonded mode
+	// handles the recast; span division by the short size 2).
+	if !strings.Contains(src, "/ 2") {
+		t.Errorf("no short-granularity redirection in bzip2:\n%s", src)
+	}
+	// The ordered commit exists.
+	found := false
+	for _, rep := range tr.Reports {
+		if len(rep.SyncPlaced) > 0 {
+			found = true
+		}
+	}
+	if !found || !strings.Contains(src, "__sync_wait") {
+		t.Errorf("bzip2 ordered section missing")
+	}
+}
+
+func TestHmmerSignatureAmbiguousSpans(t *testing.T) {
+	tr, src := transformed(t, "456.hmmer")
+	// The mx pointer has two runtime-sized allocation sites: it must
+	// be promoted with runtime span tracking.
+	promoted := false
+	for _, rep := range tr.Reports {
+		for _, p := range rep.Promoted {
+			if strings.Contains(p, "mx") {
+				promoted = true
+			}
+		}
+	}
+	if !promoted {
+		t.Fatalf("mx not promoted: %+v", tr.Reports)
+	}
+	if !strings.Contains(src, ".span") {
+		t.Errorf("no span fields in hmmer:\n%s", src)
+	}
+}
+
+func TestMD5SignatureGlobalConversion(t *testing.T) {
+	_, src := transformed(t, "md5")
+	// The message-schedule global M becomes a heap object with N copies
+	// (Table 1's global rule).
+	if !strings.Contains(src, "unsigned int *M") {
+		t.Errorf("M not heap-converted:\n%s", src)
+	}
+	if !strings.Contains(src, "M = (unsigned int*)malloc(64 * __nthreads)") {
+		t.Errorf("M allocation missing:\n%s", src)
+	}
+}
+
+func TestDijkstraSignatureFreshQueue(t *testing.T) {
+	tr, src := transformed(t, "dijkstra")
+	// Only the two global arrays are expanded; the queue nodes are
+	// iteration-fresh and must remain untouched (no struct qitem
+	// expansion, no fat qitem pointers).
+	if strings.Contains(src, "__fat_qitem") {
+		t.Errorf("queue nodes wrongly promoted:\n%s", src)
+	}
+	total := 0
+	for _, rep := range tr.Reports {
+		total += rep.Structures
+	}
+	if total != 2 {
+		t.Errorf("dijkstra structures = %d, want 2", total)
+	}
+}
+
+func TestH263SignatureTwoLoops(t *testing.T) {
+	tr, _ := transformed(t, "h263-encoder")
+	if len(tr.Reports) != 1 || len(tr.Reports[0].LoopIDs) != 2 {
+		t.Fatalf("h263 must transform two loops in one pass: %+v", tr.Reports)
+	}
+}
+
+func TestLBMSignatureSmallExpansion(t *testing.T) {
+	tr, src := transformed(t, "470.lbm")
+	// Only the two per-cell scratch structures expand; the grids stay
+	// shared (they are upwards/downwards exposed).
+	total := 0
+	for _, rep := range tr.Reports {
+		total += rep.Structures
+	}
+	if total != 2 {
+		t.Fatalf("lbm structures = %d, want 2", total)
+	}
+	if !strings.Contains(src, "feq = (double*)malloc(72 * __nthreads)") {
+		t.Errorf("feq not converted with 9 doubles per copy:\n%s", src)
+	}
+}

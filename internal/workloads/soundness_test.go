@@ -1,0 +1,98 @@
+package workloads_test
+
+// Soundness cross-check (DESIGN.md §2): the Andersen points-to
+// analysis drives which structures are expanded, so for every access
+// the profiler observed, the static points-to set must contain every
+// heap allocation site the access dynamically touched. An unsound
+// points-to would let the expansion pass redirect an access without
+// expanding one of its targets — silent corruption.
+
+import (
+	"testing"
+
+	"gdsx"
+	"gdsx/internal/alias"
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/profile"
+	"gdsx/internal/token"
+	"gdsx/internal/workloads"
+)
+
+// ptrOf mirrors the expansion pass's base resolution: the pointer
+// expression a deref-shaped access goes through, or nil for
+// variable-rooted accesses.
+func ptrOf(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Index:
+		if bt := x.X.ExprType(); bt != nil && bt.Kind == ctypes.Array {
+			return ptrOf(x.X)
+		}
+		return x.X
+	case *ast.Member:
+		if x.Arrow {
+			return x.X
+		}
+		return ptrOf(x.X)
+	case *ast.Unary:
+		if x.Op == token.MUL {
+			return x.X
+		}
+	}
+	return nil
+}
+
+func TestPointsToSoundOnWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := gdsx.Compile(w.Name+".c", w.Source(workloads.Test))
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			an := alias.Analyze(prog.AST, prog.Info)
+			for _, loopID := range prog.ParallelLoops() {
+				pr, err := prog.ProfileLoop(loopID, gdsx.RunOptions{})
+				if err != nil {
+					t.Fatalf("profile: %v", err)
+				}
+				for site, origins := range pr.Touched {
+					as := prog.Info.Accesses[site]
+					if as == nil || as.IsDef {
+						continue
+					}
+					node, ok := as.Node.(ast.Expr)
+					if !ok {
+						continue
+					}
+					ptr := ptrOf(node)
+					if ptr == nil {
+						continue // variable-rooted: resolved syntactically
+					}
+					static := map[int]bool{}
+					anyVar := false
+					for _, o := range an.PointsTo(ptr) {
+						switch o.Kind {
+						case alias.ObjHeap:
+							static[o.Site] = true
+						case alias.ObjVar, alias.ObjStr:
+							anyVar = true
+						}
+					}
+					for o := range origins {
+						if o.Kind == profile.OriginHeap && !static[o.Site] {
+							t.Errorf("site %d (%q at %s): dynamically touched heap#%d "+
+								"missing from static points-to %v",
+								site, as.Text, as.Pos, o.Site, an.PointsTo(ptr))
+						}
+						if (o.Kind == profile.OriginGlobal || o.Kind == profile.OriginStack) &&
+							!anyVar && len(static) == 0 {
+							t.Errorf("site %d (%q): touched %v but static set empty",
+								site, as.Text, o)
+						}
+					}
+				}
+			}
+		})
+	}
+}

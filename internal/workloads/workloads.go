@@ -1,0 +1,98 @@
+// Package workloads holds the eight MiniC benchmark programs that
+// reproduce the loop and data-structure behaviour of the paper's
+// Table 4 benchmarks (MiBench dijkstra and md5, MediaBench II
+// mpeg2-encoder/decoder and h263-encoder, SPEC 256.bzip2, 456.hmmer and
+// 470.lbm). Each program preserves the property that made its original
+// interesting to the paper: the parallelism kind (DOALL/DOACROSS), the
+// kind of contentious data structures (heap buffers, recast buffers,
+// ambiguous allocation sites, globals, outer locals), and the number of
+// structures Definition 5 privatizes (paper Table 5).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scale selects the input size of a workload.
+type Scale int
+
+// Scales.
+const (
+	// Test is small enough for unit tests at any thread count.
+	Test Scale = iota
+	// Profile sizes the run for shadow-memory dependence profiling.
+	ProfileScale
+	// Bench sizes the run for the evaluation harness.
+	BenchScale
+)
+
+// Workload describes one benchmark program.
+type Workload struct {
+	Name  string
+	Suite string
+	// Func is the function containing the parallelized loop(s), as in
+	// the paper's Table 4.
+	Func string
+	// Level is the loop nesting level of the candidate loop (1 =
+	// outermost), as reported in Table 4.
+	Level int
+	// Parallelism is "DOALL" or "DOACROSS".
+	Parallelism string
+	// PaperPrivatized is the number of privatized dynamic data
+	// structures the paper reports in Table 5.
+	PaperPrivatized int
+	// PaperTimePct is the loop execution time share from Table 4.
+	PaperTimePct float64
+	// Source generates the MiniC program at a scale.
+	Source func(Scale) string
+}
+
+// All returns the workloads in the paper's Table 4 order.
+func All() []*Workload {
+	return []*Workload{
+		Dijkstra(),
+		MD5(),
+		MPEG2Enc(),
+		MPEG2Dec(),
+		H263Enc(),
+		Bzip2(),
+		Hmmer(),
+		LBM(),
+	}
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// LOC counts the non-blank source lines of the workload at bench scale
+// (the paper's Table 4 reports benchmark code sizes the same way).
+func (w *Workload) LOC() int {
+	n := 0
+	for _, line := range strings.Split(w.Source(BenchScale), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func pick(s Scale, test, profile, bench int) int {
+	switch s {
+	case ProfileScale:
+		return profile
+	case BenchScale:
+		return bench
+	default:
+		return test
+	}
+}
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,56 @@
+package gdsx
+
+import (
+	"gdsx/internal/ddg"
+	"gdsx/internal/interp"
+	"gdsx/internal/rtpriv"
+)
+
+// PrivateSites profiles every parallel loop of the program and returns
+// the union of its thread-private access sites per Definition 5.
+func (p *Program) PrivateSites(opts RunOptions) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	for _, id := range p.ParallelLoops() {
+		pr, err := p.ProfileLoop(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		cls := ddg.Classify(pr.Graph, ddg.DefaultOptions())
+		for _, s := range cls.PrivateSites() {
+			if as := p.Info.Accesses[s]; as != nil && as.IsDef {
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RtStats reports what the runtime-privatization monitor did.
+type RtStats struct {
+	Monitored   int64
+	Copies      int64
+	CopiedBytes int64
+}
+
+// RunRuntimePrivatized executes the ORIGINAL (untransformed) program
+// under the SpiceC-style runtime privatization baseline (§4.2.1): the
+// given private access sites are intercepted at run time and redirected
+// to thread-local copies, with the monitoring cost charged to the
+// simulated op counters.
+func (p *Program) RunRuntimePrivatized(privateSites []int, ropts RunOptions) (Result, RtStats, error) {
+	rt := rtpriv.New(privateSites, rtpriv.DefaultModel())
+	ropts.Hooks = rt.Hooks()
+	iopts := ropts.interpOptions()
+	// The monitor must engage even for single-thread overhead runs.
+	iopts.ParallelizeSingle = true
+	m := interp.New(p.AST, p.Info, iopts)
+	rt.Bind(m)
+	res, err := m.Run()
+	s := rt.Stats()
+	return res, RtStats{Monitored: s.Monitored, Copies: s.Copies, CopiedBytes: s.CopiedBytes}, err
+}
