@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	gdsx run     [-threads N] [-seq] file.c       run a program
+//	gdsx run     [-threads N] [-seq] [-engine E] file.c  run a program
 //	gdsx profile [-loop ID] [-json] file.c        profile dependences
 //	gdsx expand  [-unopt] [-interleaved|-adaptive] file.c  transform and print
 //	gdsx pipeline [-threads N] file.c             transform, then run
@@ -49,10 +49,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gdsx run      [-threads N] [-seq] file.c
+  gdsx run      [-threads N] [-seq] [-engine compiled|tree] file.c
   gdsx profile  [-loop ID] [-json] file.c
   gdsx expand   [-unopt] [-interleaved|-adaptive] file.c
-  gdsx pipeline [-threads N] file.c`)
+  gdsx pipeline [-threads N] [-engine compiled|tree] file.c`)
 	os.Exit(2)
 }
 
@@ -68,16 +68,30 @@ func compileArg(fs *flag.FlagSet) (*gdsx.Program, error) {
 	return gdsx.Compile(file, string(src))
 }
 
+// engineFlag parses the -engine flag value ("compiled" or "tree").
+func engineFlag(name string) (gdsx.Engine, error) {
+	eng, ok := gdsx.EngineFromString(name)
+	if !ok {
+		return eng, fmt.Errorf("unknown engine %q (want compiled or tree)", name)
+	}
+	return eng, nil
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	threads := fs.Int("threads", 1, "simulated thread count")
 	seq := fs.Bool("seq", false, "force sequential execution of parallel loops")
+	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
 	fs.Parse(args)
+	engine, err := engineFlag(*engineName)
+	if err != nil {
+		return err
+	}
 	prog, err := compileArg(fs)
 	if err != nil {
 		return err
 	}
-	res, err := prog.Run(gdsx.RunOptions{Threads: *threads, ForceSequential: *seq})
+	res, err := prog.Run(gdsx.RunOptions{Threads: *threads, ForceSequential: *seq, Engine: engine})
 	if err != nil {
 		return err
 	}
@@ -196,17 +210,22 @@ func expandCmd(args []string) error {
 func pipelineCmd(args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	threads := fs.Int("threads", 4, "simulated thread count")
+	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
 	fs.Parse(args)
+	engine, err := engineFlag(*engineName)
+	if err != nil {
+		return err
+	}
 	prog, err := compileArg(fs)
 	if err != nil {
 		return err
 	}
-	native, err := prog.Run(gdsx.RunOptions{Threads: 1})
+	native, err := prog.Run(gdsx.RunOptions{Threads: 1, Engine: engine})
 	if err != nil {
 		return err
 	}
 	tr, out, err := gdsx.TransformAndRun(prog, gdsx.TransformOptions{},
-		gdsx.RunOptions{Threads: *threads})
+		gdsx.RunOptions{Threads: *threads, Engine: engine})
 	if err != nil {
 		return err
 	}

@@ -6,15 +6,23 @@
 //
 // Usage:
 //
-//	gdsxbench [-scale test|profile|bench] [-exp all|table4|table5|fig8|...|fig14]
+//	gdsxbench [-scale test|profile|bench] [-engine compiled|tree] [-exp all|table4|table5|fig8|...|fig14]
+//	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
+//
+// The -bench-engines mode instead measures host wall-clock time of
+// each workload under the tree-walking and closure-compiling engines
+// and writes the comparison as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"gdsx"
 	"gdsx/internal/bench"
 	"gdsx/internal/workloads"
 )
@@ -22,6 +30,10 @@ import (
 func main() {
 	scale := flag.String("scale", "bench", "input scale: test, profile or bench")
 	exp := flag.String("exp", "all", "experiment: all, table4, table5, fig8..fig14")
+	engineName := flag.String("engine", "compiled", "execution engine: compiled or tree")
+	benchEngines := flag.Bool("bench-engines", false,
+		"measure tree vs compiled engine wall clock and write JSON")
+	outFile := flag.String("o", "BENCH_engine.json", "output file for -bench-engines")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -36,8 +48,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gdsxbench: unknown scale", *scale)
 		os.Exit(2)
 	}
+	engine, ok := gdsx.EngineFromString(*engineName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gdsxbench: unknown engine %q (want compiled or tree)\n", *engineName)
+		os.Exit(2)
+	}
+	cfg.Engine = engine
+	fmt.Fprintf(os.Stderr, "gdsxbench: engine=%s scale=%s %s %s/%s\n",
+		engine, *scale, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 	h := bench.New(cfg)
 	start := time.Now()
+
+	if *benchEngines {
+		rep, err := h.EngineComparison()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if cfg.Scale != workloads.BenchScale {
+			fmt.Fprintln(os.Stderr, "gdsxbench: note: at this scale per-run setup"+
+				" (simulated-memory allocation) rivals the programs' execution time;"+
+				" use -scale bench for a meaningful engine comparison")
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "\n(engine comparison written to %s in %v)\n",
+			*outFile, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *exp == "all" {
 		rep, err := h.RunAll()

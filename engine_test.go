@@ -1,0 +1,164 @@
+package gdsx
+
+// Cross-validation of the two execution engines. The closure-compiling
+// engine must be observationally identical to the tree-walking
+// reference: byte-identical program output, identical exit codes, and
+// identical instruction-category counters — for every workload, under
+// every expansion configuration, at every thread count. Spin counts
+// (CatWait) depend on real scheduling and are only compared at one
+// thread, where no ordered-section waiting can occur.
+
+import (
+	"fmt"
+	"testing"
+
+	"gdsx/internal/expand"
+	"gdsx/internal/interp"
+	"gdsx/internal/workloads"
+)
+
+// engineVariants builds the program variants each workload is
+// cross-validated on: the native source plus its expanded forms under
+// the optimized and unoptimized configurations.
+func engineVariants(t *testing.T, w *workloads.Workload) map[string]string {
+	t.Helper()
+	src := w.Source(workloads.Test)
+	prog, err := Compile(w.Name+".c", src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", w.Name, err)
+	}
+	variants := map[string]string{"native": src}
+	un := expand.Unoptimized()
+	for name, eopts := range map[string]*expand.Options{"opt": nil, "unopt": &un} {
+		tr, err := Transform(prog, TransformOptions{Expand: eopts})
+		if err != nil {
+			t.Fatalf("%s: transform (%s): %v", w.Name, name, err)
+		}
+		variants[name] = tr.Source
+	}
+	return variants
+}
+
+func TestEngineCrossValidation(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			for vname, src := range engineVariants(t, w) {
+				for _, n := range []int{1, 2, 4, 8} {
+					// An un-expanded program with parallel annotations is
+					// exactly what the paper calls incorrect: its threads
+					// race, so its parallel runs are not deterministic under
+					// either engine. Cross-validate the native variant
+					// sequentially only.
+					if vname == "native" && n > 1 {
+						continue
+					}
+					label := fmt.Sprintf("%s/N=%d", vname, n)
+					tree, err := RunSource(w.Name+".c", src,
+						RunOptions{Threads: n, Engine: EngineTree})
+					if err != nil {
+						t.Fatalf("%s: tree run: %v", label, err)
+					}
+					comp, err := RunSource(w.Name+".c", src,
+						RunOptions{Threads: n, Engine: EngineCompiled})
+					if err != nil {
+						t.Fatalf("%s: compiled run: %v", label, err)
+					}
+					if comp.Output != tree.Output {
+						t.Errorf("%s: output diverges (%d vs %d bytes)",
+							label, len(comp.Output), len(tree.Output))
+					}
+					if comp.Exit != tree.Exit {
+						t.Errorf("%s: exit %d != %d", label, comp.Exit, tree.Exit)
+					}
+					if comp.Counters[interp.CatWork] != tree.Counters[interp.CatWork] {
+						t.Errorf("%s: work counter %d != %d", label,
+							comp.Counters[interp.CatWork], tree.Counters[interp.CatWork])
+					}
+					if comp.Counters[interp.CatSync] != tree.Counters[interp.CatSync] {
+						t.Errorf("%s: sync counter %d != %d", label,
+							comp.Counters[interp.CatSync], tree.Counters[interp.CatSync])
+					}
+					// Spin counts are timing-dependent under real parallel
+					// DOACROSS execution; with one thread they must agree.
+					if n == 1 && comp.Counters[interp.CatWait] != tree.Counters[interp.CatWait] {
+						t.Errorf("%s: wait counter %d != %d", label,
+							comp.Counters[interp.CatWait], tree.Counters[interp.CatWait])
+					}
+					if comp.MemOps != tree.MemOps {
+						t.Errorf("%s: memory ops %d != %d", label, comp.MemOps, tree.MemOps)
+					}
+					// End-state allocator statistics are deterministic at any
+					// thread count; the high-water marks depend on how
+					// concurrent allocations interleave, so they are only
+					// required to match for sequential runs.
+					if comp.MemStats.Live != tree.MemStats.Live ||
+						comp.MemStats.Allocs != tree.MemStats.Allocs ||
+						comp.MemStats.Blocks != tree.MemStats.Blocks {
+						t.Errorf("%s: allocator stats %+v != %+v", label,
+							comp.MemStats, tree.MemStats)
+					}
+					if n == 1 && comp.MemStats != tree.MemStats {
+						t.Errorf("%s: allocator high water %+v != %+v", label,
+							comp.MemStats, tree.MemStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineHooksParity runs the dependence profiler — the heaviest
+// Hooks consumer — under both engines and requires identical graphs.
+func TestEngineHooksParity(t *testing.T) {
+	w := workloads.ByName("dijkstra")
+	src := w.Source(workloads.Test)
+	graphs := map[Engine]string{}
+	for _, eng := range []Engine{EngineTree, EngineCompiled} {
+		prog, err := Compile(w.Name+".c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range prog.ParallelLoops() {
+			pr, err := prog.ProfileLoop(id, RunOptions{Engine: eng})
+			if err != nil {
+				t.Fatalf("engine %v: profile loop %d: %v", eng, id, err)
+			}
+			graphs[eng] += fmt.Sprintf("loop %d:\n%s", id, pr.Graph.String())
+		}
+	}
+	if graphs[EngineTree] != graphs[EngineCompiled] {
+		t.Errorf("dependence graphs diverge between engines:\ntree:\n%s\ncompiled:\n%s",
+			graphs[EngineTree], graphs[EngineCompiled])
+	}
+}
+
+// TestEngineTraceParity compares the schedule-simulator input (loop
+// traces) produced by the two engines.
+func TestEngineTraceParity(t *testing.T) {
+	w := workloads.ByName("md5")
+	src := w.Source(workloads.Test)
+	var traces [2][]*interp.LoopTrace
+	for i, eng := range []Engine{EngineTree, EngineCompiled} {
+		res, err := RunSource(w.Name+".c", src, RunOptions{Threads: 1, Trace: true, Engine: eng})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		traces[i] = res.Traces
+	}
+	if len(traces[0]) != len(traces[1]) {
+		t.Fatalf("trace count %d != %d", len(traces[1]), len(traces[0]))
+	}
+	for i := range traces[0] {
+		a, b := traces[0][i], traces[1][i]
+		if a.LoopID != b.LoopID || a.Kind != b.Kind || len(a.Iters) != len(b.Iters) {
+			t.Fatalf("trace %d shape diverges", i)
+		}
+		for j := range a.Iters {
+			if a.Iters[j] != b.Iters[j] {
+				t.Errorf("trace %d iter %d: %+v != %+v", i, j, b.Iters[j], a.Iters[j])
+			}
+		}
+	}
+}

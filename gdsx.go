@@ -79,7 +79,28 @@ type RunOptions struct {
 	MaxOps int64
 	// Hooks intercept execution (profiling, runtime privatization).
 	Hooks *interp.Hooks
+	// Engine selects the execution engine. The zero value is
+	// EngineCompiled, the closure-compiling engine; EngineTree selects
+	// the tree-walking reference implementation. Both engines produce
+	// byte-identical output and identical instruction counters.
+	Engine Engine
 }
+
+// Engine re-exports the interpreter's engine selector.
+type Engine = interp.Engine
+
+// Execution engines.
+const (
+	// EngineCompiled compiles each function body to a tree of
+	// pre-resolved Go closures once, after checking (the default).
+	EngineCompiled = interp.EngineCompiled
+	// EngineTree walks the AST on every execution (reference engine).
+	EngineTree = interp.EngineTree
+)
+
+// EngineFromString parses an engine name ("compiled", "tree", or ""
+// for the default).
+func EngineFromString(s string) (Engine, bool) { return interp.EngineFromString(s) }
 
 // Result re-exports the interpreter's run result.
 type Result = interp.Result
@@ -93,6 +114,7 @@ func (o RunOptions) interpOptions() interp.Options {
 		TraceParallel:   o.Trace,
 		MaxOps:          o.MaxOps,
 		Hooks:           o.Hooks,
+		Engine:          o.Engine,
 	}
 }
 

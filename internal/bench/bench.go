@@ -30,6 +30,10 @@ type Config struct {
 	Model schedule.Model
 	// MemSize for program runs.
 	MemSize int64
+	// Engine is the execution engine every measured run uses (the zero
+	// value is the closure-compiling engine). The simulated operation
+	// counts are engine-independent; only host wall-clock changes.
+	Engine gdsx.Engine
 }
 
 // DefaultConfig measures at bench scale on 1,2,4,8 simulated cores.
@@ -88,6 +92,7 @@ func New(cfg Config) *Harness {
 
 func (h *Harness) run(opts gdsx.RunOptions) gdsx.RunOptions {
 	opts.MemSize = h.cfg.MemSize
+	opts.Engine = h.cfg.Engine
 	return opts
 }
 

@@ -1,0 +1,133 @@
+package bench
+
+// Engine comparison: unlike every other experiment in this package,
+// which reports deterministic simulated operation counts, this one
+// measures host wall-clock time — the only quantity the choice of
+// execution engine can change. Both engines produce byte-identical
+// output and identical counters (see the cross-validation test at the
+// repository root), so the comparison runs each workload under each
+// engine and reports the speedup of the closure-compiling engine over
+// the tree-walking reference.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"gdsx"
+	"gdsx/internal/workloads"
+)
+
+// EngineRow is one workload's tree-vs-compiled wall-clock measurement.
+type EngineRow struct {
+	Workload   string  `json:"workload"`
+	TreeNS     int64   `json:"tree_ns"`
+	CompiledNS int64   `json:"compiled_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// EngineReport is the full engine comparison, serialized to
+// BENCH_engine.json by gdsxbench -bench-engines.
+type EngineReport struct {
+	GoVersion string      `json:"go_version"`
+	Scale     string      `json:"scale"`
+	Threads   int         `json:"threads"`
+	Reps      int         `json:"reps"`
+	Rows      []EngineRow `json:"rows"`
+	Geomean   float64     `json:"geomean_speedup"`
+}
+
+// engineReps is how many times each (workload, engine) pair runs; the
+// minimum wall-clock of the repetitions is reported, which discards
+// one-off scheduler and GC noise.
+const engineReps = 3
+
+// timeEngine runs the program once under eng and returns the
+// wall-clock duration. Machine construction is included: closure
+// compilation is part of what the compiled engine pays per run.
+func timeEngine(prog *gdsx.Program, eng gdsx.Engine, memSize int64) (time.Duration, error) {
+	start := time.Now()
+	_, err := prog.Run(gdsx.RunOptions{Threads: 1, MemSize: memSize, Engine: eng})
+	return time.Since(start), err
+}
+
+// EngineComparison measures every workload's native program under both
+// engines at the harness scale, single-threaded so the measurement is
+// pure dispatch cost rather than parallel-runtime behavior.
+func (h *Harness) EngineComparison() (*EngineReport, error) {
+	rep := &EngineReport{
+		GoVersion: runtime.Version(),
+		Scale:     scaleName(h.cfg.Scale),
+		Threads:   1,
+		Reps:      engineReps,
+	}
+	logSum := 0.0
+	for _, w := range workloads.All() {
+		prog, err := gdsx.Compile(w.Name+".c", w.Source(h.cfg.Scale))
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
+		}
+		row := EngineRow{Workload: w.Name}
+		// One untimed run dirties the Go heap (the simulated memory's
+		// first allocation gets pre-zeroed pages from the OS; reruns pay
+		// a memclr), then the engines alternate within each repetition —
+		// otherwise whichever engine runs first is systematically
+		// cheaper and the comparison is biased.
+		if _, err := timeEngine(prog, gdsx.EngineCompiled, h.cfg.MemSize); err != nil {
+			return nil, fmt.Errorf("%s (warmup): %w", w.Name, err)
+		}
+		bestTree := time.Duration(math.MaxInt64)
+		bestComp := time.Duration(math.MaxInt64)
+		for i := 0; i < engineReps; i++ {
+			for _, eng := range []gdsx.Engine{gdsx.EngineTree, gdsx.EngineCompiled} {
+				d, err := timeEngine(prog, eng, h.cfg.MemSize)
+				if err != nil {
+					return nil, fmt.Errorf("%s (%v): %w", w.Name, eng, err)
+				}
+				if eng == gdsx.EngineTree && d < bestTree {
+					bestTree = d
+				} else if eng == gdsx.EngineCompiled && d < bestComp {
+					bestComp = d
+				}
+			}
+		}
+		row.TreeNS = bestTree.Nanoseconds()
+		row.CompiledNS = bestComp.Nanoseconds()
+		row.Speedup = float64(row.TreeNS) / float64(row.CompiledNS)
+		logSum += math.Log(row.Speedup)
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Geomean = math.Exp(logSum / float64(len(rep.Rows)))
+	return rep, nil
+}
+
+// scaleName names a workload scale for reports.
+func scaleName(s workloads.Scale) string {
+	switch s {
+	case workloads.Test:
+		return "test"
+	case workloads.ProfileScale:
+		return "profile"
+	case workloads.BenchScale:
+		return "bench"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// Render formats the comparison as a text table.
+func (r *EngineReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine comparison (wall clock, %s scale, %d thread, best of %d, %s)\n",
+		r.Scale, r.Threads, r.Reps, r.GoVersion)
+	fmt.Fprintf(&b, "%-16s %12s %12s %9s\n", "workload", "tree", "compiled", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12v %12v %8.2fx\n", row.Workload,
+			time.Duration(row.TreeNS).Round(time.Microsecond),
+			time.Duration(row.CompiledNS).Round(time.Microsecond),
+			row.Speedup)
+	}
+	fmt.Fprintf(&b, "%-16s %12s %12s %8.2fx\n", "geomean", "", "", r.Geomean)
+	return b.String()
+}

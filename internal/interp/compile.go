@@ -1,0 +1,502 @@
+// Closure-compilation execution engine (EngineCompiled).
+//
+// After sema, compileProgram walks each function body exactly once and
+// produces a tree of Go closures mirroring the tree-walking
+// interpreter in eval.go / exec.go node for node:
+//
+//   - identifiers resolve to a fixed frame-slot or global-table index
+//     at compile time (no symbol-kind switch per access),
+//   - types, access widths, conversion paths and element sizes are
+//     chosen once (no ctypes dispatch per evaluation),
+//   - constant subtrees fold to a single closure that bumps the work
+//     counter by the subtree's static node count,
+//   - the per-node `switch x := e.(type)` disappears from the hot
+//     path: each closure calls its children directly.
+//
+// The engine is behaviourally identical to the tree-walker: it fires
+// every Hooks callback (Load/Store/LoopEnter/LoopIter/LoopExit/
+// Redirect/Free/ParallelStart/ParallelEnd) at the same program points
+// with the same access-site IDs, maintains the same work/sync/wait
+// counters and cache-model traffic, and raises the same runtime
+// errors at the same positions. Cold paths that run a handful of
+// times per loop instance (parallel-loop bound computation, global
+// initialization) intentionally reuse the tree-walker so the two
+// engines cannot drift there.
+package interp
+
+import (
+	"math"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/mem"
+	"gdsx/internal/token"
+)
+
+// cstmt executes one compiled statement.
+type cstmt func(t *thread, f *frame) ctrl
+
+// cexpr computes the rvalue of one compiled expression.
+type cexpr func(t *thread, f *frame) value
+
+// caddr computes the lvalue address of one compiled expression.
+type caddr func(t *thread, f *frame) int64
+
+// cconv converts a value between two statically known types.
+type cconv func(v value) value
+
+// compiledFunc is one closure-compiled function body.
+type compiledFunc struct {
+	fn   *ast.FuncDecl
+	body cstmt
+}
+
+// compiledProg holds the compiled bodies of every function in a
+// program, keyed by declaration (declarations are shared pointers).
+type compiledProg struct {
+	funcs map[*ast.FuncDecl]*compiledFunc
+}
+
+// compiler compiles one program for one machine. Options are fixed at
+// Machine creation, so hook presence, thread count and the op budget
+// specialize the generated closures.
+type compiler struct {
+	m     *Machine
+	mem   *mem.Memory
+	hooks *Hooks // nil when the machine runs without hooks
+	prog  *compiledProg
+	curFn *ast.FuncDecl
+	maxOp int64
+}
+
+// compileProgram compiles every function of m's program. Functions
+// may be mutually recursive, so the compiledFunc shells are created
+// first and the bodies filled in a second pass.
+func compileProgram(m *Machine) *compiledProg {
+	c := &compiler{
+		m:     m,
+		mem:   m.mem,
+		hooks: m.opts.Hooks,
+		prog:  &compiledProg{funcs: map[*ast.FuncDecl]*compiledFunc{}},
+		maxOp: m.opts.MaxOps,
+	}
+	fns := m.prog.Funcs()
+	for _, fn := range fns {
+		c.prog.funcs[fn] = &compiledFunc{fn: fn}
+	}
+	for _, fn := range fns {
+		c.curFn = fn
+		c.prog.funcs[fn].body = c.compileBlock(fn.Body)
+	}
+	return c.prog
+}
+
+// ---------------------------------------------------------------------
+// Type-directed helper compilation
+// ---------------------------------------------------------------------
+
+func idConv(v value) value { return v }
+
+// truncC compiles truncInt for the statically known integer type t.
+func truncC(t *ctypes.Type) func(int64) value {
+	if !t.HasStaticSize() {
+		// Mirror the tree-walker: the size computation itself faults at
+		// evaluation time, not at compile time.
+		return func(i int64) value { return truncInt(i, t) }
+	}
+	switch t.Size() {
+	case 1:
+		if t.Unsigned {
+			return func(i int64) value { return iv(int64(uint8(i))) }
+		}
+		return func(i int64) value { return iv(int64(int8(i))) }
+	case 2:
+		if t.Unsigned {
+			return func(i int64) value { return iv(int64(uint16(i))) }
+		}
+		return func(i int64) value { return iv(int64(int16(i))) }
+	case 4:
+		if t.Unsigned {
+			return func(i int64) value { return iv(int64(uint32(i))) }
+		}
+		return func(i int64) value { return iv(int64(int32(i))) }
+	default:
+		return func(i int64) value { return iv(i) }
+	}
+}
+
+// convC compiles convert for the statically known (from, to) pair.
+func convC(from, to *ctypes.Type) cconv {
+	if from == nil || to == nil {
+		return idConv
+	}
+	if from.Kind == ctypes.Array {
+		return idConv // decayed address
+	}
+	switch {
+	case to.IsFloat() && from.IsFloat():
+		if to.Kind == ctypes.Float {
+			return func(v value) value { return fv(float64(float32(v.F))) }
+		}
+		return idConv
+	case to.IsFloat():
+		if from.Unsigned {
+			return func(v value) value { return fv(float64(uint64(v.I))) }
+		}
+		return func(v value) value { return fv(float64(v.I)) }
+	case from.IsFloat(): // to integer
+		tr := truncC(to)
+		return func(v value) value { return tr(int64(v.F)) }
+	case to.Kind == ctypes.Ptr:
+		return idConv
+	case to.IsInteger():
+		tr := truncC(to)
+		return func(v value) value { return tr(v.I) }
+	}
+	return idConv
+}
+
+// truthC compiles truth for the statically known type t.
+func truthC(t *ctypes.Type) func(value) bool {
+	if t != nil && t.IsFloat() {
+		return func(v value) bool { return v.F != 0 }
+	}
+	return func(v value) bool { return v.I != 0 }
+}
+
+// toFloatC compiles toFloat for the statically known type t.
+func toFloatC(t *ctypes.Type) func(value) float64 {
+	if t.IsFloat() {
+		return func(v value) float64 { return v.F }
+	}
+	if t.Unsigned {
+		return func(v value) float64 { return float64(uint64(v.I)) }
+	}
+	return func(v value) float64 { return float64(v.I) }
+}
+
+// staticSizeOfElem mirrors sizeOfElem's result for types whose size is
+// statically known; ok == false means the tree-walker would raise a
+// runtime error (or needs a dynamic computation) for this type.
+func staticSizeOfElem(t *ctypes.Type) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if t.Kind == ctypes.Void {
+		return 1, true
+	}
+	if !t.HasStaticSize() {
+		return 0, false
+	}
+	return t.Size(), true
+}
+
+// loaderFor compiles loadTyped for the statically known type ty.
+func (c *compiler) loaderFor(ty *ctypes.Type) func(t *thread, addr int64) value {
+	mm := c.mem
+	switch ty.Kind {
+	case ctypes.Float:
+		return func(t *thread, addr int64) value {
+			return fv(float64(math.Float32frombits(uint32(mm.Load4(addr)))))
+		}
+	case ctypes.Double:
+		return func(t *thread, addr int64) value {
+			return fv(math.Float64frombits(mm.Load8(addr)))
+		}
+	case ctypes.Ptr:
+		return func(t *thread, addr int64) value { return iv(int64(mm.Load8(addr))) }
+	}
+	if !ty.HasStaticSize() {
+		return func(t *thread, addr int64) value { return t.loadTyped(addr, ty) }
+	}
+	switch ty.Size() {
+	case 1:
+		if ty.Unsigned {
+			return func(t *thread, addr int64) value { return iv(int64(uint8(mm.Load1(addr)))) }
+		}
+		return func(t *thread, addr int64) value { return iv(int64(int8(mm.Load1(addr)))) }
+	case 2:
+		if ty.Unsigned {
+			return func(t *thread, addr int64) value { return iv(int64(uint16(mm.Load2(addr)))) }
+		}
+		return func(t *thread, addr int64) value { return iv(int64(int16(mm.Load2(addr)))) }
+	case 4:
+		if ty.Unsigned {
+			return func(t *thread, addr int64) value { return iv(int64(uint32(mm.Load4(addr)))) }
+		}
+		return func(t *thread, addr int64) value { return iv(int64(int32(mm.Load4(addr)))) }
+	case 8:
+		return func(t *thread, addr int64) value { return iv(int64(mm.Load8(addr))) }
+	}
+	// Odd width (e.g. a struct type reaching a scalar load): fall back
+	// to the generic path, which faults exactly like the tree-walker.
+	return func(t *thread, addr int64) value { return t.loadTyped(addr, ty) }
+}
+
+// storerFor compiles storeTyped for the statically known type ty.
+func (c *compiler) storerFor(ty *ctypes.Type) func(t *thread, addr int64, v value) {
+	mm := c.mem
+	switch ty.Kind {
+	case ctypes.Float:
+		return func(t *thread, addr int64, v value) {
+			mm.Store4(addr, uint64(math.Float32bits(float32(v.F))))
+		}
+	case ctypes.Double:
+		return func(t *thread, addr int64, v value) { mm.Store8(addr, math.Float64bits(v.F)) }
+	case ctypes.Ptr:
+		return func(t *thread, addr int64, v value) { mm.Store8(addr, uint64(v.I)) }
+	case ctypes.Struct:
+		return func(t *thread, addr int64, v value) { t.storeTyped(addr, ty, v) } // rterrf
+	}
+	if !ty.HasStaticSize() {
+		return func(t *thread, addr int64, v value) { t.storeTyped(addr, ty, v) }
+	}
+	switch ty.Size() {
+	case 1:
+		return func(t *thread, addr int64, v value) { mm.Store1(addr, uint64(v.I)) }
+	case 2:
+		return func(t *thread, addr int64, v value) { mm.Store2(addr, uint64(v.I)) }
+	case 4:
+		return func(t *thread, addr int64, v value) { mm.Store4(addr, uint64(v.I)) }
+	case 8:
+		return func(t *thread, addr int64, v value) { mm.Store8(addr, uint64(v.I)) }
+	}
+	return func(t *thread, addr int64, v value) { t.storeTyped(addr, ty, v) }
+}
+
+// loadAcc compiles loadAccess for a fixed site and type: cache-model
+// touch, profiling/redirection hooks, then the typed load. The hook
+// branch disappears entirely when the machine has no hooks.
+func (c *compiler) loadAcc(site int, ty *ctypes.Type) func(t *thread, addr int64) value {
+	ld := c.loaderFor(ty)
+	if c.hooks == nil {
+		return func(t *thread, addr int64) value {
+			t.touchCache(addr)
+			return ld(t, addr)
+		}
+	}
+	h := c.hooks
+	size := accSize(ty)
+	return func(t *thread, addr int64) value {
+		t.touchCache(addr)
+		if h.Redirect != nil {
+			var cost int64
+			addr, cost = h.Redirect(site, addr, size, t.tid)
+			t.counters[CatWork] += cost
+		}
+		if h.Load != nil && t.isMain {
+			h.Load(site, addr, size)
+		}
+		return ld(t, addr)
+	}
+}
+
+// storeAcc compiles storeAccess for a fixed site and type.
+func (c *compiler) storeAcc(site int, ty *ctypes.Type) func(t *thread, addr int64, v value) {
+	st := c.storerFor(ty)
+	if c.hooks == nil {
+		return func(t *thread, addr int64, v value) {
+			t.touchCache(addr)
+			st(t, addr, v)
+		}
+	}
+	h := c.hooks
+	size := accSize(ty)
+	return func(t *thread, addr int64, v value) {
+		t.touchCache(addr)
+		if h.Redirect != nil {
+			var cost int64
+			addr, cost = h.Redirect(site, addr, size, t.tid)
+			t.counters[CatWork] += cost
+		}
+		if h.Store != nil && t.isMain {
+			h.Store(site, addr, size)
+		}
+		st(t, addr, v)
+	}
+}
+
+// accSize is the byte size the hooks observe for an access of type ty.
+func accSize(ty *ctypes.Type) int64 {
+	if ty == nil || !ty.HasStaticSize() {
+		return 0
+	}
+	return ty.Size()
+}
+
+// symAddrC compiles symAddr for a fixed symbol.
+func (c *compiler) symAddrC(sym *ast.Symbol, pos token.Pos) caddr {
+	switch sym.Kind {
+	case ast.SymGlobal:
+		idx := sym.Index
+		return func(t *thread, f *frame) int64 { return t.m.globalAddr[idx] }
+	case ast.SymLocal, ast.SymParam:
+		idx := sym.Index
+		name := sym.Name
+		return func(t *thread, f *frame) int64 {
+			a := f.slots[idx]
+			if a == 0 {
+				rterrf(pos, "variable %s used before its declaration executed", name)
+			}
+			return a
+		}
+	}
+	name := sym.Name
+	return func(t *thread, f *frame) int64 {
+		rterrf(pos, "%s has no address", name)
+		return 0
+	}
+}
+
+// ---------------------------------------------------------------------
+// Compile-time constant folding
+// ---------------------------------------------------------------------
+
+// constEval evaluates e at compile time when the subtree is
+// side-effect free, deterministic and cannot raise a runtime error.
+// n is the number of work-counter ticks the tree-walker would record
+// evaluating the subtree, so the folded closure stays counter-exact.
+func (c *compiler) constEval(e ast.Expr) (v value, n int64, ok bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return iv(x.Value), 1, true
+	case *ast.FloatLit:
+		return fv(x.Value), 1, true
+	case *ast.SizeofType:
+		if !x.Of.HasStaticSize() {
+			return value{}, 0, false
+		}
+		return iv(x.Of.Size()), 1, true
+	case *ast.SizeofExpr:
+		t := x.X.ExprType()
+		if t == nil || !t.HasStaticSize() {
+			return value{}, 0, false
+		}
+		return iv(t.Size()), 1, true
+	case *ast.Cast:
+		xv, xn, xok := c.constEval(x.X)
+		if !xok || x.To == nil || !x.To.HasStaticSize() {
+			return value{}, 0, false
+		}
+		return convert(xv, x.X.ExprType(), x.To), xn + 1, true
+	case *ast.Unary:
+		return c.constUnary(x)
+	case *ast.Binary:
+		return c.constBinary(x)
+	}
+	return value{}, 0, false
+}
+
+func (c *compiler) constUnary(x *ast.Unary) (value, int64, bool) {
+	xt, rt := x.X.ExprType(), x.ExprType()
+	if xt == nil || rt == nil || !rt.HasStaticSize() {
+		return value{}, 0, false
+	}
+	xv, xn, ok := c.constEval(x.X)
+	if !ok {
+		return value{}, 0, false
+	}
+	switch x.Op {
+	case token.SUB:
+		if rt.IsFloat() {
+			return fv(-toFloat(xv, xt)), xn + 1, true
+		}
+		return truncInt(-xv.I, rt), xn + 1, true
+	case token.ADD:
+		return convert(xv, xt, rt), xn + 1, true
+	case token.NOT:
+		return truncInt(^xv.I, rt), xn + 1, true
+	case token.LNOT:
+		if truth(xv, xt) {
+			return iv(0), xn + 1, true
+		}
+		return iv(1), xn + 1, true
+	}
+	return value{}, 0, false
+}
+
+func (c *compiler) constBinary(x *ast.Binary) (value, int64, bool) {
+	xt, yt, rt := x.X.ExprType(), x.Y.ExprType(), x.ExprType()
+	if xt == nil || yt == nil || rt == nil || !rt.HasStaticSize() {
+		return value{}, 0, false
+	}
+	if xt.Kind == ctypes.Ptr || xt.Kind == ctypes.Array ||
+		yt.Kind == ctypes.Ptr || yt.Kind == ctypes.Array {
+		return value{}, 0, false
+	}
+	xv, xn, ok := c.constEval(x.X)
+	if !ok {
+		return value{}, 0, false
+	}
+	yv, yn, ok := c.constEval(x.Y)
+	if !ok {
+		return value{}, 0, false
+	}
+	n := xn + yn + 1
+	common := ctypes.Common(xt, yt)
+	a := convert(xv, xt, common)
+	b := convert(yv, yt, common)
+
+	if common.IsFloat() {
+		switch x.Op {
+		case token.ADD:
+			return fv(a.F + b.F), n, true
+		case token.SUB:
+			return fv(a.F - b.F), n, true
+		case token.MUL:
+			return fv(a.F * b.F), n, true
+		case token.QUO:
+			return fv(a.F / b.F), n, true
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return cmpFloat(x.Op, a.F, b.F), n, true
+		}
+		return value{}, 0, false
+	}
+
+	switch x.Op {
+	case token.ADD:
+		return truncInt(a.I+b.I, rt), n, true
+	case token.SUB:
+		return truncInt(a.I-b.I, rt), n, true
+	case token.MUL:
+		return truncInt(a.I*b.I, rt), n, true
+	case token.QUO, token.REM:
+		if b.I == 0 {
+			return value{}, 0, false // must raise at run time
+		}
+		var r int64
+		if common.Unsigned {
+			if x.Op == token.QUO {
+				r = int64(uint64(a.I) / uint64(b.I))
+			} else {
+				r = int64(uint64(a.I) % uint64(b.I))
+			}
+		} else {
+			if x.Op == token.QUO {
+				r = a.I / b.I
+			} else {
+				r = a.I % b.I
+			}
+		}
+		return truncInt(r, rt), n, true
+	case token.SHL:
+		return truncInt(a.I<<uint(b.I&63), rt), n, true
+	case token.SHR:
+		if xt.Unsigned {
+			if promSize(xt) == 4 {
+				return truncInt(int64(uint32(a.I)>>uint(b.I&63)), rt), n, true
+			}
+			return truncInt(int64(uint64(a.I)>>uint(b.I&63)), rt), n, true
+		}
+		return truncInt(a.I>>uint(b.I&63), rt), n, true
+	case token.AND:
+		return truncInt(a.I&b.I, rt), n, true
+	case token.OR:
+		return truncInt(a.I|b.I, rt), n, true
+	case token.XOR:
+		return truncInt(a.I^b.I, rt), n, true
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return cmpInt(x.Op, a.I, b.I, common.Unsigned), n, true
+	}
+	return value{}, 0, false
+}

@@ -127,7 +127,12 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 				return t.execTracedFor(f, x)
 			}
 			if (t.m.opts.NumThreads > 1 || t.m.opts.ParallelizeSingle) && !t.m.opts.ForceSequential {
-				t.runParallelFor(f, x)
+				var init bodyFn
+				if x.Init != nil {
+					init = func(t *thread, f *frame) ctrl { return t.exec(f, x.Init) }
+				}
+				t.runParallelFor(f, x, init,
+					func(t *thread, f *frame) ctrl { return t.exec(f, x.Body) })
 				return ctrlNext
 			}
 		}

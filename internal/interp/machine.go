@@ -79,6 +79,10 @@ type Options struct {
 	// many operations (0 = unlimited): a runaway guard for untrusted
 	// programs.
 	MaxOps int64
+	// Engine selects the execution engine. The zero value is the
+	// closure-compiling engine; EngineTree is the tree-walking
+	// reference implementation (see engine.go).
+	Engine Engine
 }
 
 func (o *Options) fill() {
@@ -127,18 +131,34 @@ type Machine struct {
 	traces []*LoopTrace
 
 	inParallel bool
+
+	// code holds the closure-compiled function bodies when the machine
+	// runs with EngineCompiled; nil under EngineTree.
+	code *compiledProg
 }
 
 // New creates a machine for the checked program.
 func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 	opts.fill()
-	return &Machine{
+	m := &Machine{
 		prog:    prog,
 		info:    info,
 		opts:    opts,
 		mem:     mem.New(opts.MemSize),
 		strings: map[string]int64{},
 	}
+	if opts.Engine == EngineCompiled {
+		m.code = compileProgram(m)
+	}
+	return m
+}
+
+// Engine reports which execution engine the machine uses.
+func (m *Machine) Engine() Engine {
+	if m.code != nil {
+		return EngineCompiled
+	}
+	return EngineTree
 }
 
 // Mem exposes the simulated memory (used by hooks and tests).
@@ -181,7 +201,12 @@ func (m *Machine) Run() (res Result, err error) {
 		return Result{}, terr
 	}
 	mainFn := m.prog.Func("main")
-	ret := t.call(mainFn, nil, mainFn.Pos())
+	var ret value
+	if m.code != nil {
+		ret = t.callCompiled(m.code.funcs[mainFn], nil, mainFn.Pos())
+	} else {
+		ret = t.call(mainFn, nil, mainFn.Pos())
+	}
 	m.mergeCounters(t)
 	res = Result{
 		Exit:     ret.I,

@@ -111,14 +111,21 @@ func hasSyncStmts(body ast.Stmt) bool {
 	return found
 }
 
+// bodyFn executes a loop body (or other statement) for one of the two
+// engines; the parallel-loop machinery below is engine-agnostic and
+// receives the body as a closure.
+type bodyFn func(t *thread, f *frame) ctrl
+
 // runParallelFor executes a parallel-annotated for loop with
 // N = Options.NumThreads simulated threads, one goroutine each.
 // DOALL loops use static chunking; DOACROSS loops use dynamic
 // scheduling with chunk size one plus ordered-section tickets, the
-// schedules the paper uses with Gomp (§4.3).
-func (t *thread) runParallelFor(f *frame, x *ast.For) {
-	if x.Init != nil {
-		t.exec(f, x.Init)
+// schedules the paper uses with Gomp (§4.3). init executes the loop
+// initializer (nil when the loop has none) and body one iteration's
+// body; both engines share everything else.
+func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
+	if init != nil {
+		init(t, f)
 	}
 	lb := t.bounds(f, x)
 	iv := x.IndVar
@@ -171,9 +178,9 @@ func (t *thread) runParallelFor(f *frame, x *ast.For) {
 			pvAddr := w.alloca(iv.Type.Size(), x.Pos())
 			wf.slots[iv.Index] = pvAddr
 			if x.Par == ast.DOALL {
-				w.runStaticChunk(wf, x, lb, pvAddr)
+				w.runStaticChunk(wf, x, lb, pvAddr, body)
 			} else {
-				w.runDynamic(wf, x, lb, pvAddr, &next, order)
+				w.runDynamic(wf, x, lb, pvAddr, &next, order, body)
 			}
 		}(i)
 	}
@@ -195,7 +202,7 @@ func (t *thread) runParallelFor(f *frame, x *ast.For) {
 
 // runStaticChunk executes a contiguous block of iterations (DOALL
 // static scheduling, as with Gomp's static chunking).
-func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int64) {
+func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int64, body bodyFn) {
 	nt := int64(w.m.opts.NumThreads)
 	chunk := lb.n / nt
 	rem := lb.n % nt
@@ -207,7 +214,7 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 	w.counters[CatSync]++ // one dispatch per chunk
 	for k := lo; k < hi; k++ {
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
-		c := w.exec(f, x.Body)
+		c := body(w, f)
 		if c == ctrlBreak {
 			rterrf(x.Pos(), "break out of a parallel loop")
 		}
@@ -220,7 +227,7 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 // runDynamic executes iterations grabbed one at a time from a shared
 // counter (DOACROSS dynamic scheduling with chunk size 1), entering
 // ordered sections in iteration order via the ticket in order.
-func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, order *orderState) {
+func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, order *orderState, body bodyFn) {
 	w.order = order
 	defer func() { w.order = nil }()
 	for {
@@ -232,7 +239,7 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 		w.curIter = k
 		w.posted = false
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
-		c := w.exec(f, x.Body)
+		c := body(w, f)
 		if c == ctrlBreak || c == ctrlReturn {
 			rterrf(x.Pos(), "break/return out of a parallel loop")
 		}

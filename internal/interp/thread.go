@@ -74,11 +74,9 @@ func (t *thread) alloca(size int64, pos token.Pos) int64 {
 	a := t.sp
 	t.sp += size
 	// Stack slots are reused; zero them so programs see deterministic
-	// values, mirroring the allocator's zeroing of heap blocks.
-	b := t.m.mem.Bytes(a, size)
-	for i := range b {
-		b[i] = 0
-	}
+	// values, mirroring the allocator's zeroing of heap blocks. clear
+	// compiles to a runtime memclr instead of a byte loop.
+	clear(t.m.mem.Bytes(a, size))
 	return a
 }
 
@@ -89,12 +87,10 @@ type frame struct {
 	slots []int64
 }
 
-// call invokes fn with already-evaluated argument values. Struct
-// arguments arrive as addresses and are copied into the parameter
-// slots; struct results are copied out of the callee frame before it
-// is popped.
-func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
-	mark := t.sp
+// bindArgs pushes a fresh activation record for fn and copies the
+// already-evaluated argument values into the parameter slots. Struct
+// arguments arrive as addresses and are copied by value.
+func (t *thread) bindArgs(fn *ast.FuncDecl, args []value, pos token.Pos) *frame {
 	f := &frame{fn: fn, slots: make([]int64, fn.NumSlots)}
 	for i, p := range fn.Params {
 		size := p.Type.Size()
@@ -111,7 +107,12 @@ func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
 			h.Store(p.Acc.Store, addr, size)
 		}
 	}
-	c := t.execBlock(f, fn.Body)
+	return f
+}
+
+// finishCall pops the activation record and materializes the call's
+// result value from the executed body's control outcome.
+func (t *thread) finishCall(fn *ast.FuncDecl, mark int64, c ctrl, pos token.Pos) value {
 	if c == ctrlReturn && fn.Ret.Kind == ctypes.Struct {
 		// The returned struct may live in the callee frame; copy it
 		// out through a buffer before the stack region is reused.
@@ -129,6 +130,24 @@ func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
 	// Falling off the end of a non-void function yields 0, which
 	// matches what the benchmarks expect from C's main.
 	return value{}
+}
+
+// call invokes fn with already-evaluated argument values under the
+// tree-walking engine.
+func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
+	mark := t.sp
+	f := t.bindArgs(fn, args, pos)
+	c := t.execBlock(f, fn.Body)
+	return t.finishCall(fn, mark, c, pos)
+}
+
+// callCompiled invokes a closure-compiled function with
+// already-evaluated argument values.
+func (t *thread) callCompiled(cf *compiledFunc, args []value, pos token.Pos) value {
+	mark := t.sp
+	f := t.bindArgs(cf.fn, args, pos)
+	c := cf.body(t, f)
+	return t.finishCall(cf.fn, mark, c, pos)
 }
 
 func (t *thread) count(cat int, n int64) { t.counters[cat] += n }

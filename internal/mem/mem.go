@@ -24,6 +24,22 @@ import (
 // null pointer never points into a valid object.
 const NullGuard = 64
 
+// ScanPolicy selects how Alloc scans the free list for a block.
+type ScanPolicy int
+
+const (
+	// NextFit resumes scanning at the point where the previous
+	// allocation was carved, wrapping around once (the default). On
+	// allocation-heavy programs whose free list fragments, this turns
+	// the scan from O(free blocks) per call into amortized O(1): the
+	// cursor skips the long prefix of small holes that first-fit
+	// re-examines on every single allocation.
+	NextFit ScanPolicy = iota
+	// FirstFit always scans from the lowest address (the reference
+	// policy; packs tighter at the cost of rescanning fragments).
+	FirstFit
+)
+
 // Block describes one live allocation.
 type Block struct {
 	Base int64
@@ -46,6 +62,8 @@ type Memory struct {
 	live      map[int64]Block
 	bases     []int64 // sorted bases of live blocks
 	freeList  []Block // sorted by base, coalesced
+	policy    ScanPolicy
+	cursor    int64 // next-fit scan start (address, not index)
 	liveBytes int64
 	highWater int64
 	allocs    int64 // total number of Alloc calls
@@ -70,6 +88,16 @@ func New(capacity int64) *Memory {
 // Cap returns the capacity of the memory.
 func (m *Memory) Cap() int64 { return int64(len(m.data)) }
 
+// SetScanPolicy selects the free-list scan policy for subsequent
+// allocations. Programs must not depend on the address layout either
+// way; see TestScanPolicyLayoutIndependence at the repository root.
+func (m *Memory) SetScanPolicy(p ScanPolicy) {
+	m.mu.Lock()
+	m.policy = p
+	m.cursor = 0
+	m.mu.Unlock()
+}
+
 const align = 8
 
 // Alloc reserves size bytes (rounded up to 8-byte alignment) and
@@ -82,7 +110,23 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 	size = (size + align - 1) &^ (align - 1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, f := range m.freeList {
+	n := len(m.freeList)
+	start := 0
+	if m.policy == NextFit && m.cursor > 0 {
+		// Resume at the free block containing the cursor (the carve
+		// point may have coalesced into a larger hole), else the next
+		// one after it.
+		start = sort.Search(n, func(i int) bool { return m.freeList[i].End() > m.cursor })
+		if start == n {
+			start = 0
+		}
+	}
+	for k := 0; k < n; k++ {
+		i := start + k
+		if i >= n {
+			i -= n
+		}
+		f := m.freeList[i]
 		if f.Size < size {
 			continue
 		}
@@ -92,6 +136,7 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 		} else {
 			m.freeList[i] = Block{Base: f.Base + size, Size: f.Size - size}
 		}
+		m.cursor = base + size
 		b := Block{Base: base, Size: size, Site: site, Label: label}
 		m.live[base] = b
 		m.insertBase(base)
@@ -107,10 +152,9 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 			}
 		}
 		// Zero the block: C malloc does not guarantee this, but MiniC
-		// does, which keeps program output deterministic.
-		for j := base; j < base+size; j++ {
-			m.data[j] = 0
-		}
+		// does, which keeps program output deterministic. clear compiles
+		// to a runtime memclr instead of a byte-at-a-time loop.
+		clear(m.data[base : base+size])
 		return base, nil
 	}
 	return 0, fmt.Errorf("mem: out of memory allocating %d bytes (capacity %d, live %d)",
@@ -273,6 +317,47 @@ func (m *Memory) Load(addr int64, size int) uint64 {
 	panic(fmt.Sprintf("mem: load size %d", size))
 }
 
+// Size-specialized load/store accessors. The closure-compiled
+// execution engine resolves access widths at compile time and calls
+// these directly, skipping the size switch of Load/Store; they are
+// small enough for the Go compiler to inline into the access closures.
+
+// Load1 reads one byte (zero-extended).
+func (m *Memory) Load1(addr int64) uint64 { return uint64(m.data[addr]) }
+
+// Load2 reads a little-endian 2-byte value.
+func (m *Memory) Load2(addr int64) uint64 {
+	return uint64(binary.LittleEndian.Uint16(m.data[addr:]))
+}
+
+// Load4 reads a little-endian 4-byte value.
+func (m *Memory) Load4(addr int64) uint64 {
+	return uint64(binary.LittleEndian.Uint32(m.data[addr:]))
+}
+
+// Load8 reads a little-endian 8-byte value.
+func (m *Memory) Load8(addr int64) uint64 {
+	return binary.LittleEndian.Uint64(m.data[addr:])
+}
+
+// Store1 writes one byte.
+func (m *Memory) Store1(addr int64, v uint64) { m.data[addr] = byte(v) }
+
+// Store2 writes a little-endian 2-byte value.
+func (m *Memory) Store2(addr int64, v uint64) {
+	binary.LittleEndian.PutUint16(m.data[addr:], uint16(v))
+}
+
+// Store4 writes a little-endian 4-byte value.
+func (m *Memory) Store4(addr int64, v uint64) {
+	binary.LittleEndian.PutUint32(m.data[addr:], uint32(v))
+}
+
+// Store8 writes a little-endian 8-byte value.
+func (m *Memory) Store8(addr int64, v uint64) {
+	binary.LittleEndian.PutUint64(m.data[addr:], v)
+}
+
 // Store writes a little-endian value of the given byte size.
 func (m *Memory) Store(addr int64, size int, v uint64) {
 	switch size {
@@ -292,6 +377,10 @@ func (m *Memory) Store(addr int64, size int, v uint64) {
 // Memset fills n bytes at addr with v.
 func (m *Memory) Memset(addr int64, v byte, n int64) {
 	s := m.data[addr : addr+n]
+	if v == 0 {
+		clear(s)
+		return
+	}
 	for i := range s {
 		s[i] = v
 	}

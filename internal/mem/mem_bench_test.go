@@ -1,0 +1,85 @@
+package mem
+
+import "testing"
+
+// BenchmarkAllocZeroing measures allocation of large blocks, which is
+// dominated by zeroing the returned memory. Alloc zeroes with clear()
+// — a runtime memclr — rather than a byte loop; this benchmark is the
+// regression guard for that.
+func BenchmarkAllocZeroing(b *testing.B) {
+	for _, size := range []int64{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			m := New(size + 1<<12)
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				a, err := m.Alloc(size, 0, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Free(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return "1MiB"
+	case n >= 1<<16:
+		return "64KiB"
+	}
+	return "1KiB"
+}
+
+// fragment builds a memory whose free list is a long run of small
+// holes (allocate a contiguous run, then free every other block)
+// followed by the bulk free extent — the worst case for a first-fit
+// scan of large requests. The layout is built before the policy is
+// set so both policies face the identical free list.
+func fragment(b *testing.B, policy ScanPolicy) *Memory {
+	b.Helper()
+	m := New(64 << 20)
+	const holes = 2000
+	blocks := make([]int64, 0, 2*holes)
+	for i := 0; i < 2*holes; i++ {
+		a, err := m.Alloc(16, 0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = append(blocks, a)
+	}
+	for i := 0; i < len(blocks); i += 2 {
+		if err := m.Free(blocks[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkFragmentedAlloc allocates large blocks from a fragmented
+// free list. FirstFit rescans every small hole on each call; NextFit's
+// cursor stays parked in the bulk free extent.
+func BenchmarkFragmentedAlloc(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy ScanPolicy
+	}{{"first-fit", FirstFit}, {"next-fit", NextFit}} {
+		b.Run(pc.name, func(b *testing.B) {
+			m := fragment(b, pc.policy)
+			m.SetScanPolicy(pc.policy)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := m.Alloc(4096, 0, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.Free(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

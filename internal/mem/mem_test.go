@@ -155,6 +155,66 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
+// TestNextFitCursor checks that the default policy resumes scanning
+// past a fragmented prefix instead of rescanning it, and that FirstFit
+// still packs from the bottom.
+func TestNextFitCursor(t *testing.T) {
+	build := func(policy ScanPolicy) (*Memory, []int64) {
+		m := New(1 << 16)
+		m.SetScanPolicy(policy)
+		var keep []int64
+		for i := 0; i < 8; i++ {
+			h, _ := m.Alloc(16, 0, "")
+			k, _ := m.Alloc(16, 0, "")
+			keep = append(keep, k)
+			_ = m.Free(h)
+		}
+		return m, keep
+	}
+
+	m, keep := build(NextFit)
+	a, err := m.Alloc(16, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= keep[len(keep)-1] {
+		t.Fatalf("next-fit allocation at %d rescanned the fragmented prefix (last live %d)",
+			a, keep[len(keep)-1])
+	}
+	// After freeing the holes the allocator must still find them once
+	// the cursor wraps: exhaust the tail, then allocate again.
+	if _, err := m.Alloc(m.Cap(), 0, ""); err == nil {
+		t.Fatal("expected out-of-memory for over-capacity request")
+	}
+
+	m2, keep2 := build(FirstFit)
+	b, err := m2.Alloc(16, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b >= keep2[0] {
+		t.Fatalf("first-fit allocation at %d should reuse the first hole (before %d)", b, keep2[0])
+	}
+}
+
+// TestNextFitWraps checks that a next-fit scan that starts past the
+// only suitable hole wraps around and finds it.
+func TestNextFitWraps(t *testing.T) {
+	m := New(1 << 12)
+	m.SetScanPolicy(NextFit)
+	a, _ := m.Alloc(1024, 0, "")
+	rest, _ := m.Alloc(1<<12-NullGuard-1024-256, 0, "") // leave a small tail
+	_ = m.Free(a)                                       // hole at the bottom, cursor far past it
+	b, err := m.Alloc(512, 0, "")
+	if err != nil {
+		t.Fatalf("wrap-around allocation failed: %v", err)
+	}
+	if b != a {
+		t.Fatalf("expected wrap to hole at %d, got %d", a, b)
+	}
+	_ = m.Free(rest)
+}
+
 // Property: live blocks never overlap, interior lookups always resolve
 // to the right block, and freeing everything returns the allocator to
 // one maximal free extent.

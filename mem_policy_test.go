@@ -1,0 +1,76 @@
+package gdsx
+
+// The allocator's free-list scan policy (next-fit by default,
+// first-fit as the reference) changes where blocks land in the
+// simulated address space. No program-visible behavior may depend on
+// that layout: this test runs allocation-heavy workloads under both
+// policies and requires identical output, exit code and instruction
+// counters. Only the allocator's own placement statistics (high-water
+// marks) may differ.
+
+import (
+	"testing"
+
+	"gdsx/internal/interp"
+	"gdsx/internal/mem"
+	"gdsx/internal/workloads"
+)
+
+func runWithPolicy(t *testing.T, src string, p mem.ScanPolicy) Result {
+	t.Helper()
+	prog, err := Compile("wl.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.NewMachine(RunOptions{Threads: 1})
+	m.Mem().SetScanPolicy(p)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScanPolicyLayoutIndependence(t *testing.T) {
+	// dijkstra and 256.bzip2 are the heaviest malloc/free users in the
+	// suite; the transformed form of dijkstra additionally allocates the
+	// per-thread expanded copies.
+	for _, name := range []string{"dijkstra", "256.bzip2"} {
+		w := workloads.ByName(name)
+		src := w.Source(workloads.Test)
+		t.Run(name, func(t *testing.T) {
+			next := runWithPolicy(t, src, mem.NextFit)
+			first := runWithPolicy(t, src, mem.FirstFit)
+			if next.Output != first.Output {
+				t.Errorf("output differs between scan policies")
+			}
+			if next.Exit != first.Exit {
+				t.Errorf("exit %d != %d", next.Exit, first.Exit)
+			}
+			if next.Counters[interp.CatWork] != first.Counters[interp.CatWork] {
+				t.Errorf("work counter %d != %d between scan policies",
+					next.Counters[interp.CatWork], first.Counters[interp.CatWork])
+			}
+			if next.MemStats.Allocs != first.MemStats.Allocs {
+				t.Errorf("allocation count %d != %d between scan policies",
+					next.MemStats.Allocs, first.MemStats.Allocs)
+			}
+		})
+	}
+	// Expanded program: the transformation's span arithmetic must hold
+	// wherever the expanded copies land.
+	w := workloads.ByName("dijkstra")
+	prog, err := Compile("dijkstra.c", w.Source(workloads.Test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Transform(prog, TransformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := runWithPolicy(t, tr.Source, mem.NextFit)
+	first := runWithPolicy(t, tr.Source, mem.FirstFit)
+	if next.Output != first.Output || next.Exit != first.Exit {
+		t.Errorf("expanded dijkstra diverges between scan policies")
+	}
+}
