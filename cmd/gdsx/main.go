@@ -8,7 +8,12 @@
 //	gdsx run     [-threads N] [-seq] [-engine E] file.c  run a program
 //	gdsx profile [-loop ID] [-json] file.c        profile dependences
 //	gdsx expand  [-unopt] [-interleaved|-adaptive] file.c  transform and print
-//	gdsx pipeline [-threads N] file.c             transform, then run
+//	gdsx pipeline [-threads N] [-guard] file.c    transform, then run
+//
+// With -guard, the pipeline runs under the dependence-violation
+// monitor: accesses are checked at each parallel region's end against
+// the expansion's assumptions, and on violation the run falls back to
+// sequential re-execution of the native program (see gdsx.GuardedRun).
 package main
 
 import (
@@ -52,7 +57,7 @@ func usage() {
   gdsx run      [-threads N] [-seq] [-engine compiled|tree] file.c
   gdsx profile  [-loop ID] [-json] file.c
   gdsx expand   [-unopt] [-interleaved|-adaptive] file.c
-  gdsx pipeline [-threads N] [-engine compiled|tree] file.c`)
+  gdsx pipeline [-threads N] [-engine compiled|tree] [-guard] [-profile-input train.c] file.c`)
 	os.Exit(2)
 }
 
@@ -211,6 +216,10 @@ func pipelineCmd(args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	threads := fs.Int("threads", 4, "simulated thread count")
 	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
+	guarded := fs.Bool("guard", false,
+		"run under the dependence-violation monitor with sequential fallback")
+	profileInput := fs.String("profile-input", "",
+		"alternate source file for the profiling runs (train/ref input split)")
 	fs.Parse(args)
 	engine, err := engineFlag(*engineName)
 	if err != nil {
@@ -224,8 +233,41 @@ func pipelineCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, out, err := gdsx.TransformAndRun(prog, gdsx.TransformOptions{},
-		gdsx.RunOptions{Threads: *threads, Engine: engine})
+	topts := gdsx.TransformOptions{Guard: *guarded}
+	if *profileInput != "" {
+		psrc, err := os.ReadFile(*profileInput)
+		if err != nil {
+			return err
+		}
+		topts.ProfileSource = string(psrc)
+	}
+	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine}
+	if *guarded {
+		tr, err := gdsx.Transform(prog, topts)
+		if err != nil {
+			return err
+		}
+		res, err := gdsx.GuardedRun(prog, tr, ropts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Result.Output)
+		if res.FellBack {
+			fmt.Fprintf(os.Stderr, "guard: dependence violation detected; "+
+				"parallel run discarded, output is the sequential re-execution\n%s\n",
+				res.Violation)
+		} else {
+			fmt.Fprintf(os.Stderr, "guard: %d-thread run completed, no violations\n", *threads)
+		}
+		status := "MATCH"
+		if res.Result.Output != native.Output {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(os.Stderr, "native vs guarded %d-thread expanded: %s (%d structures expanded)\n",
+			*threads, status, tr.Reports[0].Structures)
+		return nil
+	}
+	tr, out, err := gdsx.TransformAndRun(prog, topts, ropts)
 	if err != nil {
 		return err
 	}

@@ -8,10 +8,14 @@
 //
 //	gdsxbench [-scale test|profile|bench] [-engine compiled|tree] [-exp all|table4|table5|fig8|...|fig14]
 //	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
+//	gdsxbench -guard [-scale ...] [-o BENCH_guard.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
-// and writes the comparison as JSON.
+// and writes the comparison as JSON. The -guard mode measures the
+// guarded-execution monitor's overhead on violation-free parallel runs
+// (use -scale profile: the monitor logs every access, so bench-scale
+// inputs need log memory proportional to their operation count).
 package main
 
 import (
@@ -33,7 +37,9 @@ func main() {
 	engineName := flag.String("engine", "compiled", "execution engine: compiled or tree")
 	benchEngines := flag.Bool("bench-engines", false,
 		"measure tree vs compiled engine wall clock and write JSON")
-	outFile := flag.String("o", "BENCH_engine.json", "output file for -bench-engines")
+	benchGuard := flag.Bool("guard", false,
+		"measure guarded-execution monitor overhead on violation-free runs and write JSON")
+	outFile := flag.String("o", "", "output file (default BENCH_engine.json or BENCH_guard.json)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -71,17 +77,23 @@ func main() {
 				" (simulated-memory allocation) rivals the programs' execution time;"+
 				" use -scale bench for a meaningful engine comparison")
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
+		writeJSON(rep, *outFile, "BENCH_engine.json", "engine comparison", start)
+		return
+	}
+
+	if *benchGuard {
+		if cfg.Scale == workloads.BenchScale {
+			fmt.Fprintln(os.Stderr, "gdsxbench: note: the monitor logs every access;"+
+				" bench-scale inputs need gigabytes of log memory. -scale profile"+
+				" is the intended operating point.")
+		}
+		rep, err := h.GuardOverhead()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "\n(engine comparison written to %s in %v)\n",
-			*outFile, time.Since(start).Round(time.Millisecond))
+		fmt.Print(rep.Render())
+		writeJSON(rep, *outFile, "BENCH_guard.json", "guard overhead", start)
 		return
 	}
 
@@ -149,4 +161,22 @@ func main() {
 	}
 	fmt.Print(rep.RenderPartial())
 	fmt.Fprintf(os.Stderr, "\n(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSON serializes a report to out (or the mode's default file).
+func writeJSON(rep any, out, deflt, what string, start time.Time) {
+	if out == "" {
+		out = deflt
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "\n(%s written to %s in %v)\n",
+		what, out, time.Since(start).Round(time.Millisecond))
 }

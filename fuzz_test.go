@@ -1,0 +1,90 @@
+package gdsx
+
+// FuzzCompileRun drives arbitrary source text through the full
+// frontend (lexer, parser, semantic analysis) and, when it compiles,
+// through both execution engines with tight operation and memory
+// bounds. The frontend must reject garbage with an error — never a
+// panic — and the two engines must agree on the outcome of whatever
+// survives to execution.
+
+import (
+	"errors"
+	"testing"
+
+	"gdsx/internal/interp"
+	"gdsx/internal/workloads"
+)
+
+func FuzzCompileRun(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Source(workloads.Test))
+	}
+	for _, a := range workloads.AdversarialAll() {
+		f.Add(a.Profile(workloads.Test))
+		f.Add(a.Expose(workloads.Test))
+	}
+	f.Add(`int main() { return 0; }`)
+	f.Add(`int g; int main() { int *p = &g; *p = 3; return g; }`)
+	f.Add(`int main() { parallel for (;;) {} }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile("fuzz.c", src)
+		if err != nil {
+			return // rejected cleanly — the only requirement for invalid input
+		}
+		// Keep runs tiny: fuzz inputs that compile are usually mutations
+		// of the seed workloads and can contain unbounded loops.
+		opts := RunOptions{
+			MaxOps:  200000,
+			MemSize: 1 << 22,
+			Threads: 2,
+		}
+		// Parallel phase: robustness only. A mutated source can carry
+		// parallel annotations on loops the expansion never sanctioned,
+		// so parallel outcomes are nondeterministic (racy stores, and the
+		// per-worker operation budget fires on whichever worker the
+		// dynamic DOACROSS schedule loads most). The requirement here is
+		// containment: any failure must be a structured RuntimeError, not
+		// a process panic, deadlock, or hang.
+		for _, eng := range []Engine{EngineTree, EngineCompiled} {
+			o := opts
+			o.Engine = eng
+			if _, rerr := prog.Run(o); rerr != nil {
+				var re interp.RuntimeError
+				if !errors.As(rerr, &re) {
+					t.Fatalf("engine %v: unstructured failure %T: %v", eng, rerr, rerr)
+				}
+			}
+		}
+		// Sequential phase: full differential. Deterministic execution
+		// must produce identical output, exit code, and failure from both
+		// engines.
+		results := map[Engine]struct {
+			out  string
+			exit int64
+			err  error
+		}{}
+		for _, eng := range []Engine{EngineTree, EngineCompiled} {
+			o := opts
+			o.Engine = eng
+			o.ForceSequential = true
+			res, rerr := prog.Run(o)
+			if rerr != nil {
+				var re interp.RuntimeError
+				if !errors.As(rerr, &re) {
+					t.Fatalf("engine %v: unstructured failure %T: %v", eng, rerr, rerr)
+				}
+			}
+			results[eng] = struct {
+				out  string
+				exit int64
+				err  error
+			}{res.Output, res.Exit, rerr}
+		}
+		tr, cp := results[EngineTree], results[EngineCompiled]
+		if (tr.err == nil) != (cp.err == nil) || tr.out != cp.out || tr.exit != cp.exit {
+			t.Fatalf("sequential runs diverge:\ntree:     exit=%d err=%v out=%q\ncompiled: exit=%d err=%v out=%q",
+				tr.exit, tr.err, tr.out, cp.exit, cp.err, cp.out)
+		}
+	})
+}

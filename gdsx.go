@@ -77,6 +77,13 @@ type RunOptions struct {
 	Trace bool
 	// MaxOps aborts the run after this many operations (0 = unlimited).
 	MaxOps int64
+	// MemLimit caps live allocated bytes below the simulated capacity
+	// (0 = no cap); exceeding it fails the allocation like OOM.
+	MemLimit int64
+	// FailAlloc makes the nth allocation from program start fail with
+	// an out-of-memory error (0 = disabled); fault injection for
+	// robustness tests.
+	FailAlloc int64
 	// Hooks intercept execution (profiling, runtime privatization).
 	Hooks *interp.Hooks
 	// Engine selects the execution engine. The zero value is
@@ -113,6 +120,8 @@ func (o RunOptions) interpOptions() interp.Options {
 		ForceSequential: o.ForceSequential,
 		TraceParallel:   o.Trace,
 		MaxOps:          o.MaxOps,
+		MemLimit:        o.MemLimit,
+		FailAlloc:       o.FailAlloc,
 		Hooks:           o.Hooks,
 		Engine:          o.Engine,
 	}

@@ -1,0 +1,77 @@
+package gdsx
+
+import (
+	"errors"
+	"fmt"
+
+	"gdsx/internal/guard"
+)
+
+// GuardedResult is the outcome of a guarded parallel execution.
+type GuardedResult struct {
+	// Result is the run that produced the program's output: the guarded
+	// parallel run when no violation was detected, else the sequential
+	// re-execution of the native program.
+	Result Result
+	// Violation is the monitor's report when the parallel run was
+	// aborted, nil otherwise.
+	Violation *guard.Report
+	// FellBack reports whether the output came from the sequential
+	// fallback.
+	FellBack bool
+}
+
+// GuardedRun executes a transformed program under the guarded-execution
+// monitor. The transformation must have been produced with
+// TransformOptions.Guard (or expand.Options.GuardNotes) so the expanded
+// program carries its copy-geometry markers; without them the monitor
+// sees no expanded structures and degrades to raw conflict detection.
+//
+// During the run, a per-thread access monitor logs every sited memory
+// access; at each parallel region's end — the safe point — the logs are
+// replayed against the expansion's assumptions (Definition 5 thread
+// privacy, the profiled DDG's absence of unsynchronized carried
+// dependences). If the input exposed a dependence the training profile
+// never saw, the parallel region aborts, the expanded state is
+// discarded, and the native program is re-executed sequentially,
+// producing the output sequential execution would have produced. The
+// returned GuardedResult says which path ran and carries the
+// violation report when the guard fired.
+func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*GuardedResult, error) {
+	if opts.Hooks != nil {
+		return nil, fmt.Errorf("gdsx: guarded execution does not compose with custom hooks")
+	}
+	if native == nil || tr == nil {
+		return nil, fmt.Errorf("gdsx: guarded execution needs the native program and its transform result")
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	exp, err := Compile(native.File+" (expanded)", tr.Source)
+	if err != nil {
+		return nil, fmt.Errorf("gdsx: compiling transformed program: %w", err)
+	}
+	mon := guard.New(guard.Config{Threads: threads, Info: exp.Info})
+	gopts := opts
+	gopts.Hooks = mon.Hooks()
+	out, err := exp.Run(gopts)
+	if err == nil {
+		return &GuardedResult{Result: out}, nil
+	}
+	var ve *guard.ViolationError
+	if !errors.As(err, &ve) {
+		return nil, err // a genuine runtime error, not a guard abort
+	}
+	// Dependence violation: discard the expanded run (its machine and
+	// memory are dropped wholesale) and re-execute the native program
+	// sequentially for the correct output.
+	sopts := opts
+	sopts.Hooks = nil
+	sopts.ForceSequential = true
+	seq, serr := native.Run(sopts)
+	if serr != nil {
+		return nil, fmt.Errorf("gdsx: sequential re-execution after guard abort: %w", serr)
+	}
+	return &GuardedResult{Result: seq, Violation: ve.Report, FellBack: true}, nil
+}

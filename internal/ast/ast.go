@@ -79,6 +79,15 @@ const (
 	BSqrt
 	BFabs
 	BAbs
+	// BExpandMalloc and BExpandNote are markers the guarded expansion
+	// pass emits (see internal/expand, Options.GuardNotes):
+	// __expand_malloc(span, esz) allocates span*__nthreads bytes and
+	// reports the expanded extent to the access monitor;
+	// __expand_note(base, span, esz) reports an expanded stack or
+	// global object without allocating. esz is the element size for
+	// interleaved layout, 0 for bonded.
+	BExpandMalloc
+	BExpandNote
 )
 
 // Symbol is the semantic object an identifier resolves to. Symbols are

@@ -110,6 +110,14 @@ func (g *Graph) Edges() []Edge {
 // Count returns the dynamic occurrence count of an edge.
 func (g *Graph) Count(e Edge) int64 { return g.edges[e] }
 
+// HasEdge reports whether the dependence was observed during
+// profiling. The guarded-execution monitor uses it to distinguish a
+// profiled (and therefore synchronized or tolerated) conflict from a
+// dependence the training input never exposed.
+func (g *Graph) HasEdge(src, dst int, kind DepKind, carried bool) bool {
+	return g.edges[Edge{Src: src, Dst: dst, Kind: kind, Carried: carried}] > 0
+}
+
 // HasCarried reports whether site participates (as either endpoint) in
 // a loop-carried dependence of the given kind.
 func (g *Graph) HasCarried(site int, kind DepKind) bool {

@@ -95,6 +95,16 @@ type Options struct {
 	// synchronization); this option is the ablation that reproduces
 	// that behaviour.
 	ConservativeSync bool
+
+	// GuardNotes makes the expanded program self-describing for the
+	// guarded-execution monitor: expanded heap allocations become
+	// __expand_malloc(span, esz) calls (the builtin multiplies by the
+	// thread count itself and announces the copy geometry through
+	// Hooks.Expand), and each expanded local declaration is followed by
+	// an __expand_note(base, span, esz) marker. Off by default because
+	// the marker calls change the generated code and therefore the
+	// deterministic instruction counters.
+	GuardNotes bool
 }
 
 // Optimized returns the §3.4-optimized configuration (paper Fig. 9b).

@@ -21,6 +21,7 @@ func (p *pass) expandTypes() error {
 	p.globalConv = map[*ast.Symbol]int64{}
 
 	var mainInit []ast.Stmt
+	noteDecls := map[*ast.VarDecl]int64{} // expanded local decl -> per-copy span
 	for o := range p.expandSet {
 		switch o.Kind {
 		case alias.ObjVar:
@@ -42,20 +43,39 @@ func (p *pass) expandTypes() error {
 				return fmt.Errorf("expand: cannot expand dynamically sized local %s", sym.Name)
 			}
 			// Local scalar/record/array: T a -> T a[N].
+			span := d.Type.Size()
 			d.Type = ctypes.ArrayOf(d.Type, -1)
 			d.VLALen = nthExpr()
 			sym.Type = d.Type
+			if p.opts.GuardNotes {
+				noteDecls[d] = span
+			}
 
 		case alias.ObjHeap:
 			call := p.in.Info.Allocs[o.Site]
 			switch call.Fun.Sym.Builtin {
 			case ast.BMalloc:
-				call.Args[0] = mul(call.Args[0], nthExpr())
+				if p.opts.GuardNotes {
+					call.Fun = ident("__expand_malloc")
+					call.Args = append(call.Args, intLit(0))
+				} else {
+					call.Args[0] = mul(call.Args[0], nthExpr())
+				}
 			case ast.BCalloc:
-				call.Args[0] = mul(call.Args[0], nthExpr())
+				if p.opts.GuardNotes {
+					call.Fun = ident("__expand_malloc")
+					call.Args = []ast.Expr{mul(call.Args[0], call.Args[1]), intLit(0)}
+				} else {
+					call.Args[0] = mul(call.Args[0], nthExpr())
+				}
 			case ast.BRealloc:
 				return fmt.Errorf("expand: realloc site %d cannot be expanded", o.Site)
 			}
+		}
+	}
+	if len(noteDecls) > 0 {
+		if err := p.insertExpandNotes(noteDecls); err != nil {
+			return err
 		}
 	}
 	if len(mainInit) > 0 {
@@ -63,6 +83,47 @@ func (p *pass) expandTypes() error {
 		sortStmts(mainInit)
 		mainFn := p.in.Prog.Func("main")
 		mainFn.Body.Stmts = append(mainInit, mainFn.Body.Stmts...)
+	}
+	return nil
+}
+
+// insertExpandNotes places an __expand_note(a, span, 0) marker directly
+// after each expanded local declaration so the guard monitor learns the
+// copy geometry of stack-expanded structures every time the frame is
+// (re)entered.
+func (p *pass) insertExpandNotes(noteDecls map[*ast.VarDecl]int64) error {
+	remaining := len(noteDecls)
+	ast.Inspect(p.in.Prog, func(n ast.Node) bool {
+		blk, ok := n.(*ast.Block)
+		if !ok || remaining == 0 {
+			return remaining > 0
+		}
+		for i := 0; i < len(blk.Stmts); i++ {
+			ds, ok := blk.Stmts[i].(*ast.DeclStmt)
+			if !ok {
+				continue
+			}
+			var notes []ast.Stmt
+			for _, d := range ds.Decls {
+				span, want := noteDecls[d]
+				if !want {
+					continue
+				}
+				notes = append(notes, &ast.ExprStmt{X: &ast.Call{
+					Fun:  ident("__expand_note"),
+					Args: []ast.Expr{ident(d.Sym.Name), intLit(span), intLit(0)},
+				}})
+				remaining--
+			}
+			if len(notes) > 0 {
+				blk.Stmts = append(blk.Stmts[:i+1], append(notes, blk.Stmts[i+1:]...)...)
+				i += len(notes)
+			}
+		}
+		return true
+	})
+	if remaining > 0 {
+		return fmt.Errorf("expand: could not place %d guard note(s) (expanded local not declared in a block)", remaining)
 	}
 	return nil
 }
@@ -95,13 +156,17 @@ func (p *pass) convertGlobal(sym *ast.Symbol, d *ast.VarDecl) ([]ast.Stmt, error
 	init := d.Init
 	d.Init = nil
 
-	alloc := assign(
-		ident(sym.Name),
-		&ast.Cast{To: newType, X: &ast.Call{
-			Fun:  ident("malloc"),
-			Args: []ast.Expr{mul(intLit(unitSize), nthExpr())},
-		}},
-	)
+	allocCall := &ast.Call{
+		Fun:  ident("malloc"),
+		Args: []ast.Expr{mul(intLit(unitSize), nthExpr())},
+	}
+	if p.opts.GuardNotes {
+		allocCall = &ast.Call{
+			Fun:  ident("__expand_malloc"),
+			Args: []ast.Expr{intLit(unitSize), intLit(0)},
+		}
+	}
+	alloc := assign(ident(sym.Name), &ast.Cast{To: newType, X: allocCall})
 	out := []ast.Stmt{alloc}
 	if init != nil {
 		out = append(out, assign(index(ident(sym.Name), intLit(0)), init))
@@ -291,10 +356,16 @@ func (p *pass) checkInterleaved(apply bool) error {
 			return fmt.Errorf("expand: interleaved layout supports heap structures only (got %s)", o)
 		}
 		call := p.in.Info.Allocs[o.Site]
-		switch call.Fun.Sym.Builtin {
-		case ast.BMalloc, ast.BCalloc:
-		default:
-			return fmt.Errorf("expand: interleaved layout: unsupported allocator at site %d", o.Site)
+		if call.Fun.Sym == nil {
+			// Already rewritten to __expand_malloc by expandTypes under
+			// GuardNotes; expandTypes rejects every allocator but
+			// malloc/calloc before rewriting.
+		} else {
+			switch call.Fun.Sym.Builtin {
+			case ast.BMalloc, ast.BCalloc:
+			default:
+				return fmt.Errorf("expand: interleaved layout: unsupported allocator at site %d", o.Site)
+			}
 		}
 		elemOf[o] = 0
 	}
@@ -360,9 +431,18 @@ func (p *pass) checkInterleaved(apply bool) error {
 	if !apply {
 		return nil
 	}
-	// Multiply the allocation sizes.
+	// Multiply the allocation sizes (with guard notes, the
+	// __expand_malloc builtin performs the multiplication itself and
+	// carries the element size so the monitor can invert the
+	// interleaved address mapping).
 	for o := range p.expandSet {
 		call := p.in.Info.Allocs[o.Site]
+		if p.opts.GuardNotes {
+			// expandTypes already rewrote the call to
+			// __expand_malloc(span, 0); record the element size.
+			call.Args[1] = intLit(elemOf[o])
+			continue
+		}
 		call.Args[0] = mul(call.Args[0], nthExpr())
 	}
 	return nil

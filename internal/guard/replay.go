@@ -1,0 +1,215 @@
+package guard
+
+import (
+	"gdsx/internal/ddg"
+	"gdsx/internal/interp"
+)
+
+// Shadow pages, byte-granular like the profiler's.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// shadowCell stores 1-based indices into the merged event slice of the
+// last write and last read that touched the byte; 0 means none since
+// the last definition.
+type shadowCell struct {
+	w, r int32
+}
+
+type shadow struct {
+	pages map[int64]*[pageSize]shadowCell
+}
+
+func newShadow() *shadow { return &shadow{pages: map[int64]*[pageSize]shadowCell{}} }
+
+func (s *shadow) cell(addr int64) *shadowCell {
+	p := s.pages[addr>>pageBits]
+	if p == nil {
+		p = new([pageSize]shadowCell)
+		s.pages[addr>>pageBits] = p
+	}
+	return &p[addr&pageMask]
+}
+
+// mergeLogs interleaves the per-thread logs by iteration number,
+// reconstructing the sequential schedule: iterations partition across
+// threads and each thread logs its iterations in increasing order, so
+// a k-way merge on Iter (ties broken by thread, for pre-loop setup
+// events) is a stable sequential ordering.
+func mergeLogs(logs [][]interp.Access) []interp.Access {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	merged := make([]interp.Access, 0, total)
+	idx := make([]int, len(logs))
+	for {
+		best := -1
+		for t := range logs {
+			if idx[t] >= len(logs[t]) {
+				continue
+			}
+			if best < 0 || logs[t][idx[t]].Iter < logs[best][idx[best]].Iter {
+				best = t
+			}
+		}
+		if best < 0 {
+			return merged
+		}
+		merged = append(merged, logs[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// replay checks one region's logs and returns a report, or nil when
+// the region is violation-free.
+func (m *Monitor) replay(logs [][]interp.Access) *Report {
+	merged := mergeLogs(logs)
+	if len(merged) == 0 {
+		return nil
+	}
+	nt := m.cfg.Threads
+	notes := append([]note(nil), m.regionNotes...)
+	raw := newShadow()
+	can := newShadow()
+	g := m.cfg.Graphs[m.loop]
+
+	rep := &Report{Loop: m.loop, Threads: m.nthreads}
+	seen := map[vioKey]bool{}
+	record := func(rule string, ev interp.Access, addr int64, cp int, other *interp.Access) {
+		rep.Total++
+		key := vioKey{rule: rule, site: ev.Site}
+		if other != nil {
+			key.other = other.Site
+		}
+		if seen[key] || len(rep.Violations) >= m.cfg.MaxViolations {
+			return
+		}
+		seen[key] = true
+		rep.Violations = append(rep.Violations, m.newViolation(rule, ev, addr, cp, other))
+	}
+
+	for i := range merged {
+		ev := merged[i]
+		id := int32(i + 1)
+		if ev.Def {
+			// Fresh storage: kill the byte history and any stale
+			// expansion note the addresses shadow.
+			for a := ev.Addr; a < ev.Addr+ev.Size; a++ {
+				c := raw.cell(a)
+				c.w, c.r = 0, 0
+				if cn, _, ok := canonical(notes, nt, a); ok {
+					cc := can.cell(cn)
+					cc.w, cc.r = 0, 0
+				}
+			}
+			notes = dropStale(notes, nt, ev.Addr, ev.Size)
+			continue
+		}
+		// One violation per (event, rule): byte-granular scanning would
+		// otherwise multiply-count a single bad access.
+		var flagged [4]bool
+		for a := ev.Addr; a < ev.Addr+ev.Size; a++ {
+			rc := raw.cell(a)
+
+			// Raw shadow: unsynchronized cross-thread conflicts (V4).
+			check := func(prev int32, kind int) {
+				if prev == 0 || flagged[3] {
+					return
+				}
+				p := &merged[prev-1]
+				if p.Iter == ev.Iter || p.Tid == ev.Tid {
+					return // same iteration or thread program order
+				}
+				if p.Ordered && ev.Ordered {
+					return // both inside the ordered section: serialized
+				}
+				if g != nil && edgeProfiled(g, p, &ev, kind) {
+					return // a dependence the profile already knew
+				}
+				flagged[3] = true
+				record(RuleConflict, ev, a, -1, p)
+			}
+			if ev.Store {
+				check(rc.w, kindOutput)
+				check(rc.r, kindAnti)
+			} else {
+				check(rc.w, kindFlow)
+			}
+
+			// Canonical shadow: expansion-semantics checks (V1–V3).
+			if cn, cp, ok := canonical(notes, nt, a); ok {
+				cc := can.cell(cn)
+				if cp != 0 && cp != ev.Tid && !flagged[2] {
+					// V3: a copy belonging to another thread.
+					var other *interp.Access
+					if cc.w != 0 {
+						other = &merged[cc.w-1]
+					}
+					flagged[2] = true
+					record(RuleForeignCopy, ev, a, cp, other)
+				}
+				if ev.Store {
+					cc.w = id
+				} else {
+					switch {
+					case cc.w == rc.w:
+						// The sequential data source is the very write this
+						// copy holds (or both are pre-region and the read
+						// goes through the original storage): correct.
+						// cc.w == 0 == rc.w with cp != 0 falls through below.
+						if cc.w == 0 && cp != 0 && !flagged[1] {
+							// V2: sequentially this read would see pre-loop
+							// data, but copy cp started zero-filled.
+							flagged[1] = true
+							record(RuleStaleCopy, ev, a, cp, nil)
+						}
+					case cc.w != 0:
+						// V1: sequentially the read's data source is a write
+						// that landed in a different copy — a dependence the
+						// thread-private classification ruled out.
+						if !flagged[0] {
+							flagged[0] = true
+							record(RuleCarriedFlow, ev, a, cp, &merged[cc.w-1])
+						}
+					}
+					cc.r = id
+				}
+			}
+
+			// Update the raw shadow after the checks.
+			if ev.Store {
+				rc.w = id
+			} else {
+				rc.r = id
+			}
+		}
+	}
+	if rep.Total == 0 {
+		return nil
+	}
+	return rep
+}
+
+// Dependence kinds for exact-edge tolerance checks.
+const (
+	kindFlow = iota
+	kindAnti
+	kindOutput
+)
+
+// edgeProfiled reports whether the profiled graph contains the carried
+// dependence between the two conflicting accesses.
+func edgeProfiled(g *ddg.Graph, p, ev *interp.Access, kind int) bool {
+	k := ddg.Flow
+	switch kind {
+	case kindAnti:
+		k = ddg.Anti
+	case kindOutput:
+		k = ddg.Output
+	}
+	return g.HasEdge(p.Site, ev.Site, k, true)
+}

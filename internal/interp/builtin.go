@@ -22,8 +22,14 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 	// allocDef reports the definition of a fresh heap block to the
 	// profiler (see AccessSite.IsDef).
 	allocDef := func(base, size int64) {
-		if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
-			h.Store(x.Acc.Store, base, size)
+		if h := t.m.opts.Hooks; h != nil {
+			if h.Store != nil && t.isMain {
+				h.Store(x.Acc.Store, base, size)
+			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: x.Acc.Store, Addr: base, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+			}
 		}
 	}
 
@@ -68,13 +74,40 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 	case ast.BMemset:
 		p, v, n := arg(0).I, arg(1).I, arg(2).I
 		if n > 0 {
+			t.checkAccess(x.Pos(), p, n)
 			t.m.mem.Memset(p, byte(v), n)
 		}
 		return value{}
 	case ast.BMemcpy:
 		d, s, n := arg(0).I, arg(1).I, arg(2).I
 		if n > 0 {
+			t.checkAccess(x.Pos(), s, n)
+			t.checkAccess(x.Pos(), d, n)
 			t.m.mem.Memcpy(d, s, n)
+		}
+		return value{}
+	case ast.BExpandMalloc:
+		// Guard marker emitted by the expansion pass in place of an
+		// expanded allocation: span bytes per thread copy, esz = element
+		// size for interleaved layout (0 = bonded). Allocates all
+		// NumThreads copies in one block, like the plain expansion.
+		span, esz := arg(0).I, arg(1).I
+		n := span * int64(t.m.opts.NumThreads)
+		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		if err != nil {
+			rterrf(x.Pos(), "%v", err)
+		}
+		if h := t.m.opts.Hooks; h != nil && h.Expand != nil {
+			h.Expand(a, span, esz)
+		}
+		allocDef(a, n)
+		return iv(a)
+	case ast.BExpandNote:
+		// Guard marker after an expanded stack/global object: notes the
+		// extent of its thread copies without allocating.
+		base, span, esz := arg(0).I, arg(1).I, arg(2).I
+		if h := t.m.opts.Hooks; h != nil && h.Expand != nil {
+			h.Expand(base, span, esz)
 		}
 		return value{}
 	case ast.BPrintInt:
@@ -94,6 +127,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 		// Read up to the NUL terminator.
 		var bs []byte
 		for {
+			t.checkAccess(x.Pos(), p, 1)
 			b := byte(t.m.mem.Load(p, 1))
 			if b == 0 {
 				break

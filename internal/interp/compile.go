@@ -265,18 +265,20 @@ func (c *compiler) storerFor(ty *ctypes.Type) func(t *thread, addr int64, v valu
 }
 
 // loadAcc compiles loadAccess for a fixed site and type: cache-model
-// touch, profiling/redirection hooks, then the typed load. The hook
-// branch disappears entirely when the machine has no hooks.
-func (c *compiler) loadAcc(site int, ty *ctypes.Type) func(t *thread, addr int64) value {
+// touch, profiling/redirection hooks, the null/bounds check, then the
+// typed load. The hook branch disappears entirely when the machine has
+// no hooks.
+func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64) value {
 	ld := c.loaderFor(ty)
+	size := accSize(ty)
 	if c.hooks == nil {
 		return func(t *thread, addr int64) value {
 			t.touchCache(addr)
+			t.checkAccess(pos, addr, size)
 			return ld(t, addr)
 		}
 	}
 	h := c.hooks
-	size := accSize(ty)
 	return func(t *thread, addr int64) value {
 		t.touchCache(addr)
 		if h.Redirect != nil {
@@ -284,24 +286,30 @@ func (c *compiler) loadAcc(site int, ty *ctypes.Type) func(t *thread, addr int64
 			addr, cost = h.Redirect(site, addr, size, t.tid)
 			t.counters[CatWork] += cost
 		}
+		t.checkAccess(pos, addr, size)
 		if h.Load != nil && t.isMain {
 			h.Load(site, addr, size)
+		}
+		if h.Observe != nil {
+			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
+				Iter: t.curIter, Ordered: t.inOrdered})
 		}
 		return ld(t, addr)
 	}
 }
 
 // storeAcc compiles storeAccess for a fixed site and type.
-func (c *compiler) storeAcc(site int, ty *ctypes.Type) func(t *thread, addr int64, v value) {
+func (c *compiler) storeAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64, v value) {
 	st := c.storerFor(ty)
+	size := accSize(ty)
 	if c.hooks == nil {
 		return func(t *thread, addr int64, v value) {
 			t.touchCache(addr)
+			t.checkAccess(pos, addr, size)
 			st(t, addr, v)
 		}
 	}
 	h := c.hooks
-	size := accSize(ty)
 	return func(t *thread, addr int64, v value) {
 		t.touchCache(addr)
 		if h.Redirect != nil {
@@ -309,8 +317,13 @@ func (c *compiler) storeAcc(site int, ty *ctypes.Type) func(t *thread, addr int6
 			addr, cost = h.Redirect(site, addr, size, t.tid)
 			t.counters[CatWork] += cost
 		}
+		t.checkAccess(pos, addr, size)
 		if h.Store != nil && t.isMain {
 			h.Store(site, addr, size)
+		}
+		if h.Observe != nil {
+			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
+				Iter: t.curIter, Store: true, Ordered: t.inOrdered})
 		}
 		st(t, addr, v)
 	}

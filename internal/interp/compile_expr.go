@@ -107,7 +107,7 @@ func (c *compiler) compileIdent(x *ast.Ident) cexpr {
 			return iv(ad(t, f))
 		}
 	}
-	ld := c.loadAcc(x.Acc.Load, sym.Type)
+	ld := c.loadAcc(x.Pos(), x.Acc.Load, sym.Type)
 	return func(t *thread, f *frame) value {
 		t.counters[CatWork]++
 		return ld(t, ad(t, f))
@@ -128,7 +128,7 @@ func (c *compiler) compileLoadable(e ast.Expr, site int) cexpr {
 			return iv(ad(t, f))
 		}
 	}
-	ld := c.loadAcc(site, ty)
+	ld := c.loadAcc(e.Pos(), site, ty)
 	return func(t *thread, f *frame) value {
 		t.counters[CatWork]++
 		return ld(t, ad(t, f))
@@ -231,7 +231,7 @@ func (c *compiler) compileUnary(x *ast.Unary) cexpr {
 				return iv(ad(t, f))
 			}
 		}
-		ld := c.loadAcc(x.Acc.Load, rt)
+		ld := c.loadAcc(x.Pos(), x.Acc.Load, rt)
 		return func(t *thread, f *frame) value {
 			t.counters[CatWork]++
 			return ld(t, ad(t, f))
@@ -586,6 +586,7 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 		cr := c.compileExpr(x.RHS)
 		lsite := loadSite(x.RHS)
 		ssite := storeSite(x.LHS)
+		pos := x.Pos()
 		h := c.hooks
 		mm := c.mem
 		if h == nil {
@@ -595,6 +596,8 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 				src := cr(t, f).I
 				t.touchCache(src)
 				t.touchCache(dst)
+				t.checkAccess(pos, src, size)
+				t.checkAccess(pos, dst, size)
 				mm.Memcpy(dst, src, size)
 				return iv(dst)
 			}
@@ -611,6 +614,8 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 				dst, c2 = h.Redirect(ssite, dst, size, t.tid)
 				t.counters[CatWork] += c1 + c2
 			}
+			t.checkAccess(pos, src, size)
+			t.checkAccess(pos, dst, size)
 			if t.isMain {
 				if h.Load != nil {
 					h.Load(lsite, src, size)
@@ -618,6 +623,12 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 				if h.Store != nil {
 					h.Store(ssite, dst, size)
 				}
+			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: lsite, Addr: src, Size: size, Tid: t.tid,
+					Iter: t.curIter, Ordered: t.inOrdered})
+				h.Observe(Access{Site: ssite, Addr: dst, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Ordered: t.inOrdered})
 			}
 			mm.Memcpy(dst, src, size)
 			return iv(dst)
@@ -628,7 +639,7 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 	cr := c.compileExpr(x.RHS)
 	if x.Op == token.ASSIGN {
 		cv := convC(x.RHS.ExprType(), lt)
-		st := c.storeAcc(storeSite(x.LHS), lt)
+		st := c.storeAcc(x.Pos(), storeSite(x.LHS), lt)
 		return func(t *thread, f *frame) value {
 			t.counters[CatWork]++
 			a := ad(t, f)
@@ -637,9 +648,9 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 			return nv
 		}
 	}
-	ld := c.loadAcc(loadSite(x.LHS), lt)
+	ld := c.loadAcc(x.Pos(), loadSite(x.LHS), lt)
 	cop := compoundC(x.Pos(), x.Op.CompoundOp(), lt, x.RHS.ExprType())
-	st := c.storeAcc(storeSite(x.LHS), lt)
+	st := c.storeAcc(x.Pos(), storeSite(x.LHS), lt)
 	return func(t *thread, f *frame) value {
 		t.counters[CatWork]++
 		a := ad(t, f)
@@ -762,8 +773,8 @@ func (c *compiler) compileIncDec(x *ast.IncDec) cexpr {
 		return c.fallbackExpr(x)
 	}
 	ad := c.compileAddr(x.X)
-	ld := c.loadAcc(loadSite(x.X), ty)
-	st := c.storeAcc(storeSite(x.X), ty)
+	ld := c.loadAcc(x.Pos(), loadSite(x.X), ty)
+	st := c.storeAcc(x.Pos(), storeSite(x.X), ty)
 	dec := x.Op == token.DEC
 
 	var step func(old value) value
@@ -867,8 +878,14 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 
 	// allocDef mirrors the fresh-block definition report of evalCall.
 	allocDef := func(t *thread, base, size int64) {
-		if h != nil && h.Store != nil && t.isMain {
-			h.Store(defSite, base, size)
+		if h != nil {
+			if h.Store != nil && t.isMain {
+				h.Store(defSite, base, size)
+			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: defSite, Addr: base, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+			}
 		}
 	}
 	arg := func(i int) cexpr { return c.compileExpr(x.Args[i]) }
@@ -933,6 +950,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 			t.counters[CatWork]++
 			p, v, n := a0(t, f).I, a1(t, f).I, a2(t, f).I
 			if n > 0 {
+				t.checkAccess(pos, p, n)
 				mm.Memset(p, byte(v), n)
 			}
 			return value{}
@@ -943,7 +961,38 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 			t.counters[CatWork]++
 			d, s, n := a0(t, f).I, a1(t, f).I, a2(t, f).I
 			if n > 0 {
+				t.checkAccess(pos, s, n)
+				t.checkAccess(pos, d, n)
 				mm.Memcpy(d, s, n)
+			}
+			return value{}
+		}
+	case ast.BExpandMalloc:
+		// Guard marker for an expanded allocation; see evalCall.
+		a0, a1 := arg(0), arg(1)
+		nt := int64(c.m.opts.NumThreads)
+		return func(t *thread, f *frame) value {
+			t.counters[CatWork]++
+			span := a0(t, f).I
+			esz := a1(t, f).I
+			n := span * nt
+			a, err := mm.Alloc(n, site, "")
+			if err != nil {
+				rterrf(pos, "%v", err)
+			}
+			if h != nil && h.Expand != nil {
+				h.Expand(a, span, esz)
+			}
+			allocDef(t, a, n)
+			return iv(a)
+		}
+	case ast.BExpandNote:
+		a0, a1, a2 := arg(0), arg(1), arg(2)
+		return func(t *thread, f *frame) value {
+			t.counters[CatWork]++
+			base, span, esz := a0(t, f).I, a1(t, f).I, a2(t, f).I
+			if h != nil && h.Expand != nil {
+				h.Expand(base, span, esz)
 			}
 			return value{}
 		}
@@ -976,6 +1025,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 			p := a0(t, f).I
 			var bs []byte
 			for {
+				t.checkAccess(pos, p, 1)
 				b := byte(mm.Load1(p))
 				if b == 0 {
 					break

@@ -115,7 +115,7 @@ func (c *compiler) compileStmt(s ast.Stmt) cstmt {
 
 	case *ast.SyncWait:
 		return c.tickStmt(pos, func(t *thread, f *frame) ctrl {
-			t.syncWait()
+			t.syncWait(pos)
 			return ctrlNext
 		})
 
@@ -233,8 +233,14 @@ func (c *compiler) compileDecl(d *ast.VarDecl) func(t *thread, f *frame) {
 		size := sizeOf(t, f)
 		a := t.alloca(size, pos)
 		f.slots[idx] = a
-		if h != nil && h.Store != nil && t.isMain {
-			h.Store(defSite, a, size)
+		if h != nil {
+			if h.Store != nil && t.isMain {
+				h.Store(defSite, a, size)
+			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: defSite, Addr: a, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+			}
 		}
 		if init != nil {
 			init(t, f, a)

@@ -136,35 +136,49 @@ func (t *thread) touchCache(addr int64) {
 
 // loadAccess performs the load belonging to access site, applying the
 // profiling and redirection hooks.
-func (t *thread) loadAccess(site int, addr int64, ty *ctypes.Type) value {
+func (t *thread) loadAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type) value {
 	t.touchCache(addr)
+	size := ty.Size()
 	if h := t.m.opts.Hooks; h != nil {
-		size := ty.Size()
 		if h.Redirect != nil {
 			var cost int64
 			addr, cost = h.Redirect(site, addr, size, t.tid)
 			t.counters[CatWork] += cost
 		}
+		t.checkAccess(pos, addr, size)
 		if h.Load != nil && t.isMain {
 			h.Load(site, addr, size)
 		}
+		if h.Observe != nil {
+			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
+				Iter: t.curIter, Ordered: t.inOrdered})
+		}
+	} else {
+		t.checkAccess(pos, addr, size)
 	}
 	return t.loadTyped(addr, ty)
 }
 
 // storeAccess performs the store belonging to access site.
-func (t *thread) storeAccess(site int, addr int64, ty *ctypes.Type, v value) {
+func (t *thread) storeAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type, v value) {
 	t.touchCache(addr)
+	size := ty.Size()
 	if h := t.m.opts.Hooks; h != nil {
-		size := ty.Size()
 		if h.Redirect != nil {
 			var cost int64
 			addr, cost = h.Redirect(site, addr, size, t.tid)
 			t.counters[CatWork] += cost
 		}
+		t.checkAccess(pos, addr, size)
 		if h.Store != nil && t.isMain {
 			h.Store(site, addr, size)
 		}
+		if h.Observe != nil {
+			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
+				Iter: t.curIter, Store: true, Ordered: t.inOrdered})
+		}
+	} else {
+		t.checkAccess(pos, addr, size)
 	}
 	t.storeTyped(addr, ty, v)
 }
@@ -276,7 +290,7 @@ func (t *thread) eval(f *frame, e ast.Expr) value {
 			return iv(t.symAddr(f, x.Sym, x.Pos()))
 		}
 		a := t.symAddr(f, x.Sym, x.Pos())
-		return t.loadAccess(x.Acc.Load, a, x.Sym.Type)
+		return t.loadAccess(x.Pos(), x.Acc.Load, a, x.Sym.Type)
 
 	case *ast.Unary:
 		return t.evalUnary(f, x)
@@ -317,14 +331,14 @@ func (t *thread) eval(f *frame, e ast.Expr) value {
 			return iv(t.addr(f, x)) // address only; consumer copies structs
 		}
 		a := t.addr(f, x)
-		return t.loadAccess(x.Acc.Load, a, x.ExprType())
+		return t.loadAccess(x.Pos(), x.Acc.Load, a, x.ExprType())
 
 	case *ast.Member:
 		if k := x.ExprType().Kind; k == ctypes.Array || k == ctypes.Struct {
 			return iv(t.addr(f, x))
 		}
 		a := t.addr(f, x)
-		return t.loadAccess(x.Acc.Load, a, x.ExprType())
+		return t.loadAccess(x.Pos(), x.Acc.Load, a, x.ExprType())
 
 	case *ast.Call:
 		return t.evalCall(f, x)
@@ -351,7 +365,7 @@ func (t *thread) evalUnary(f *frame, x *ast.Unary) value {
 			return iv(t.addr(f, x))
 		}
 		a := t.addr(f, x)
-		return t.loadAccess(x.Acc.Load, a, x.ExprType())
+		return t.loadAccess(x.Pos(), x.Acc.Load, a, x.ExprType())
 	case token.SUB:
 		v := t.eval(f, x.X)
 		if x.ExprType().IsFloat() {
@@ -608,6 +622,8 @@ func (t *thread) evalAssign(f *frame, x *ast.Assign) value {
 				dst, c2 = h.Redirect(storeSite(x.LHS), dst, size, t.tid)
 				t.counters[CatWork] += c1 + c2
 			}
+			t.checkAccess(x.Pos(), src, size)
+			t.checkAccess(x.Pos(), dst, size)
 			if t.isMain {
 				if h.Load != nil {
 					h.Load(loadSite(x.RHS), src, size)
@@ -616,6 +632,15 @@ func (t *thread) evalAssign(f *frame, x *ast.Assign) value {
 					h.Store(storeSite(x.LHS), dst, size)
 				}
 			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: loadSite(x.RHS), Addr: src, Size: size, Tid: t.tid,
+					Iter: t.curIter, Ordered: t.inOrdered})
+				h.Observe(Access{Site: storeSite(x.LHS), Addr: dst, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Ordered: t.inOrdered})
+			}
+		} else {
+			t.checkAccess(x.Pos(), src, size)
+			t.checkAccess(x.Pos(), dst, size)
 		}
 		t.m.mem.Memcpy(dst, src, size)
 		return iv(dst)
@@ -626,11 +651,11 @@ func (t *thread) evalAssign(f *frame, x *ast.Assign) value {
 	if x.Op == token.ASSIGN {
 		nv = convert(t.eval(f, x.RHS), x.RHS.ExprType(), lt)
 	} else {
-		old := t.loadAccess(loadSite(x.LHS), a, lt)
+		old := t.loadAccess(x.Pos(), loadSite(x.LHS), a, lt)
 		rv := t.eval(f, x.RHS)
 		nv = compound(x.Pos(), x.Op.CompoundOp(), old, rv, lt, x.RHS.ExprType())
 	}
-	t.storeAccess(storeSite(x.LHS), a, lt, nv)
+	t.storeAccess(x.Pos(), storeSite(x.LHS), a, lt, nv)
 	return nv
 }
 
@@ -717,7 +742,7 @@ func compound(pos token.Pos, op token.Kind, old, rv value, lt, rt *ctypes.Type) 
 func (t *thread) evalIncDec(f *frame, x *ast.IncDec) value {
 	ty := x.ExprType()
 	a := t.addr(f, x.X)
-	old := t.loadAccess(loadSite(x.X), a, ty)
+	old := t.loadAccess(x.Pos(), loadSite(x.X), a, ty)
 	var nv value
 	switch {
 	case ty.Kind == ctypes.Ptr:
@@ -739,7 +764,7 @@ func (t *thread) evalIncDec(f *frame, x *ast.IncDec) value {
 		}
 		nv = convert(iv(old.I+d), ctypes.LongType, ty)
 	}
-	t.storeAccess(storeSite(x.X), a, ty, nv)
+	t.storeAccess(x.Pos(), storeSite(x.X), a, ty, nv)
 	if x.Post {
 		return old
 	}

@@ -6,6 +6,7 @@ import (
 
 	"gdsx/internal/ast"
 	"gdsx/internal/ctypes"
+	"gdsx/internal/token"
 )
 
 // ctrl is the control-flow outcome of executing a statement.
@@ -153,7 +154,7 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 		return ctrlContinue
 
 	case *ast.SyncWait:
-		t.syncWait()
+		t.syncWait(x.Pos())
 		return ctrlNext
 
 	case *ast.SyncPost:
@@ -184,8 +185,14 @@ func (t *thread) execDecl(f *frame, d *ast.VarDecl) {
 	f.slots[d.Sym.Index] = a
 	// The declaration defines a fresh zeroed object; report it to the
 	// profiler so reused stack addresses carry no stale history.
-	if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
-		h.Store(d.Acc.Store, a, size)
+	if h := t.m.opts.Hooks; h != nil {
+		if h.Store != nil && t.isMain {
+			h.Store(d.Acc.Store, a, size)
+		}
+		if h.Observe != nil {
+			h.Observe(Access{Site: d.Acc.Store, Addr: a, Size: size, Tid: t.tid,
+				Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+		}
 	}
 	if d.Init != nil {
 		if ty.Kind == ctypes.Struct {
@@ -296,23 +303,44 @@ func (t *thread) execTracedFor(f *frame, x *ast.For) ctrl {
 
 // syncWait blocks until all earlier iterations have posted. Outside a
 // parallel DOACROSS execution it is a no-op.
-func (t *thread) syncWait() {
+func (t *thread) syncWait(pos token.Pos) {
 	if t.ts != nil {
 		t.ts.waitMark = t.counters[CatWork]
 		return
 	}
 	if t.order == nil {
+		t.inOrdered = true
 		return
 	}
 	t.counters[CatSync]++
+	// Spinning executes no statements, so the MaxOps budget in exec
+	// cannot interrupt it: a program whose ordered sections never post
+	// (reachable under fuzzing) would hang forever. Bound the spin
+	// count by the same budget. Aborting an unlucky legitimate wait
+	// early is acceptable — the budget exists only for harnesses that
+	// already accept budget aborts.
+	spinMax := int64(0)
+	if t.m.opts.MaxOps > 0 {
+		spinMax = t.m.opts.MaxOps * 4
+	}
 	spins := int64(0)
 	for t.order.ticket.Load() != t.curIter {
+		// A sibling worker may have faulted before posting its ticket;
+		// spinning on it would deadlock. The cancellation panic is
+		// swallowed by the worker's recover in runParallelFor.
+		if t.cancel != nil && t.cancel.Load() {
+			panic(regionCanceled{})
+		}
 		spins++
+		if spinMax > 0 && spins > spinMax {
+			rterrf(pos, "operation budget exceeded waiting for ordered section (iteration %d)", t.curIter)
+		}
 		if spins&63 == 0 {
 			runtime.Gosched()
 		}
 	}
 	t.counters[CatWait] += spins
+	t.inOrdered = true
 }
 
 // syncPost releases the next iteration's ordered section.
@@ -324,9 +352,11 @@ func (t *thread) syncPost() {
 	}
 	if t.order == nil {
 		t.posted = true
+		t.inOrdered = false
 		return
 	}
 	t.counters[CatSync]++
 	t.order.ticket.Store(t.curIter + 1)
 	t.posted = true
+	t.inOrdered = false
 }

@@ -52,6 +52,35 @@ type Hooks struct {
 	// ParallelStart/ParallelEnd bracket a parallel loop execution.
 	ParallelStart func(loopID, nthreads int)
 	ParallelEnd   func(loopID int)
+	// Observe, when set, watches every sited memory access on every
+	// thread (with the address Redirect produced, if any): the feed of
+	// the guarded-execution monitor. It also sees definition events
+	// (declarations, allocations, argument binding) with Def set.
+	Observe func(ev Access)
+	// Expand observes the __expand_malloc/__expand_note markers the
+	// guarded expansion pass emits: base is the address of copy 0, span
+	// the per-copy size in bytes, esz the element size for interleaved
+	// layout (0 = bonded layout).
+	Expand func(base, span, esz int64)
+}
+
+// Access describes one observed memory access for Hooks.Observe.
+type Access struct {
+	Site int
+	Addr int64
+	Size int64
+	Tid  int
+	// Iter is the 0-based iteration the accessing thread is executing;
+	// only meaningful while a parallel loop runs.
+	Iter  int64
+	Store bool
+	// Def marks the definition of a fresh object (declaration,
+	// allocation, argument binding): prior contents of the addresses are
+	// dead.
+	Def bool
+	// Ordered marks accesses executed inside an ordered section
+	// (between SyncWait and SyncPost).
+	Ordered bool
 }
 
 // Options configure a Machine.
@@ -79,6 +108,12 @@ type Options struct {
 	// many operations (0 = unlimited): a runaway guard for untrusted
 	// programs.
 	MaxOps int64
+	// MemLimit caps live simulated allocations in bytes (0 = capacity
+	// only); allocations beyond it fail like out-of-memory.
+	MemLimit int64
+	// FailAlloc makes the Nth allocation of the run fail (1 = the
+	// first), a fault-injection hook for OOM-robustness tests.
+	FailAlloc int64
 	// Engine selects the execution engine. The zero value is the
 	// closure-compiling engine; EngineTree is the tree-walking
 	// reference implementation (see engine.go).
@@ -147,6 +182,12 @@ func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 		mem:     mem.New(opts.MemSize),
 		strings: map[string]int64{},
 	}
+	if opts.MemLimit > 0 {
+		m.mem.SetLimit(opts.MemLimit)
+	}
+	if opts.FailAlloc > 0 {
+		m.mem.SetFailAlloc(opts.FailAlloc)
+	}
 	if opts.Engine == EngineCompiled {
 		m.code = compileProgram(m)
 	}
@@ -170,24 +211,35 @@ func (m *Machine) Info() *sema.Info { return m.info }
 // NumThreads returns the configured simulated thread count.
 func (m *Machine) NumThreads() int { return m.opts.NumThreads }
 
-// runtimeError aborts execution; Run recovers it into an error.
-type runtimeError struct {
-	pos token.Pos
-	msg string
+// RuntimeError is the structured error a faulting MiniC program
+// produces (null dereference, out-of-bounds access, division by zero,
+// out of memory, ...). It aborts execution via panic; Run recovers it
+// into the returned error.
+type RuntimeError struct {
+	Pos token.Pos
+	Msg string
 }
 
-func (e runtimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.pos, e.msg) }
+func (e RuntimeError) Error() string { return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg) }
 
 func rterrf(pos token.Pos, format string, args ...any) {
-	panic(runtimeError{pos: pos, msg: fmt.Sprintf(format, args...)})
+	panic(RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
+
+// Abort carries a structured error out of a hook (the guarded-execution
+// monitor raises it from ParallelEnd): Run recovers it and returns Err.
+type Abort struct{ Err error }
 
 // Run executes the program's main function and returns its result.
 func (m *Machine) Run() (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if re, ok := r.(runtimeError); ok {
+			if re, ok := r.(RuntimeError); ok {
 				err = re
+				return
+			}
+			if ab, ok := r.(Abort); ok {
+				err = ab.Err
 				return
 			}
 			panic(r)

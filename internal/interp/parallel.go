@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -160,16 +161,28 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
 		workers[i] = w
 	}
 
+	// Worker-fault containment: the first fault (in iteration order, to
+	// match what sequential execution would hit first) cancels the
+	// remaining workers at their next safe point — the iteration
+	// dispatch, or the ordered-section spin, where a dead predecessor
+	// would otherwise leave them waiting forever — and is re-raised on
+	// the spawning thread as a positioned runtime error.
+	var cancel atomic.Bool
 	var wg sync.WaitGroup
-	panics := make([]any, nt)
+	faults := make([]*workerFault, nt)
 	for i := 0; i < nt; i++ {
 		w := workers[i]
+		w.cancel = &cancel
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panics[idx] = r
+					if _, ok := r.(regionCanceled); ok {
+						return
+					}
+					faults[idx] = &workerFault{iter: workers[idx].curIter, tid: idx, val: r}
+					cancel.Store(true)
 				}
 			}()
 			wf := &frame{fn: f.fn, slots: make([]int64, len(f.slots))}
@@ -187,17 +200,52 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
 	wg.Wait()
 
 	for _, w := range workers {
+		w.cancel = nil
 		t.m.mergeCounters(w)
 		w.release()
 	}
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
+	if fault := firstFault(faults); fault != nil {
+		if re, ok := fault.val.(RuntimeError); ok {
+			// Annotate and re-panic; Run (or an enclosing recover) turns
+			// it into the error returned to the caller. The panic unwinds
+			// through the deferred ParallelEnd above, so a guard monitor
+			// still gets its safe-point check (a detected dependence
+			// violation there takes precedence over the worker fault).
+			panic(RuntimeError{Pos: re.Pos,
+				Msg: fmt.Sprintf("%s (parallel worker %d, iteration %d)", re.Msg, fault.tid, fault.iter)})
 		}
+		panic(fault.val) // interpreter bug: propagate unchanged
 	}
 	// Sequential semantics after the loop: the induction variable holds
 	// its first value failing the condition.
 	t.storeTyped(ivAddr, iv.Type, truncInt(lb.start+n*lb.step, iv.Type))
+}
+
+// workerFault records a panic caught in a parallel worker.
+type workerFault struct {
+	iter int64
+	tid  int
+	val  any
+}
+
+// regionCanceled is panicked inside a worker whose region was cancelled
+// by a sibling's fault; the worker's recover swallows it.
+type regionCanceled struct{}
+
+// firstFault selects the fault of the earliest iteration (ties broken
+// by thread ID), deterministically matching the fault sequential
+// execution would reach first.
+func firstFault(faults []*workerFault) *workerFault {
+	var first *workerFault
+	for _, fa := range faults {
+		if fa == nil {
+			continue
+		}
+		if first == nil || fa.iter < first.iter {
+			first = fa
+		}
+	}
+	return first
 }
 
 // runStaticChunk executes a contiguous block of iterations (DOALL
@@ -213,6 +261,10 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 	}
 	w.counters[CatSync]++ // one dispatch per chunk
 	for k := lo; k < hi; k++ {
+		if w.cancel != nil && w.cancel.Load() {
+			return // a sibling worker faulted; stop at the safe point
+		}
+		w.curIter = k
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
 		c := body(w, f)
 		if c == ctrlBreak {
@@ -235,9 +287,13 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 		if k >= lb.n {
 			return
 		}
+		if w.cancel != nil && w.cancel.Load() {
+			return // a sibling worker faulted; stop at the safe point
+		}
 		w.counters[CatSync]++ // one dispatch per iteration
 		w.curIter = k
 		w.posted = false
+		w.inOrdered = false
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
 		c := body(w, f)
 		if c == ctrlBreak || c == ctrlReturn {

@@ -1,8 +1,11 @@
 package interp
 
 import (
+	"sync/atomic"
+
 	"gdsx/internal/ast"
 	"gdsx/internal/ctypes"
+	"gdsx/internal/mem"
 	"gdsx/internal/token"
 )
 
@@ -36,6 +39,14 @@ type thread struct {
 	order   *orderState
 	curIter int64
 	posted  bool
+
+	// inOrdered is set between SyncWait and SyncPost, so the access
+	// monitor can tell synchronized accesses apart.
+	inOrdered bool
+
+	// cancel is shared by all workers of a parallel region; a worker
+	// that faults sets it so its siblings stop at the next safe point.
+	cancel *atomic.Bool
 
 	// retVal holds the value of an executed return statement.
 	retVal value
@@ -103,8 +114,14 @@ func (t *thread) bindArgs(fn *ast.FuncDecl, args []value, pos token.Pos) *frame 
 		}
 		// Argument binding defines the parameter slot (see the matching
 		// definition site created by sema).
-		if h := t.m.opts.Hooks; h != nil && h.Store != nil && t.isMain {
-			h.Store(p.Acc.Store, addr, size)
+		if h := t.m.opts.Hooks; h != nil {
+			if h.Store != nil && t.isMain {
+				h.Store(p.Acc.Store, addr, size)
+			}
+			if h.Observe != nil {
+				h.Observe(Access{Site: p.Acc.Store, Addr: addr, Size: size, Tid: t.tid,
+					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+			}
 		}
 	}
 	return f
@@ -151,3 +168,18 @@ func (t *thread) callCompiled(cf *compiledFunc, args []value, pos token.Pos) val
 }
 
 func (t *thread) count(cat int, n int64) { t.counters[cat] += n }
+
+// checkAccess validates a memory access against the reserved null page
+// and the capacity of the simulated memory, raising a positioned
+// runtime error instead of crashing the interpreter. It runs after
+// Redirect, on the address the program actually touches.
+func (t *thread) checkAccess(pos token.Pos, addr, size int64) {
+	if addr >= mem.NullGuard && addr+size <= t.m.mem.Cap() && size >= 0 {
+		return
+	}
+	if addr >= 0 && addr < mem.NullGuard {
+		rterrf(pos, "null pointer dereference (address %d)", addr)
+	}
+	rterrf(pos, "out-of-bounds access at address %d (%d bytes, memory capacity %d)",
+		addr, size, t.m.mem.Cap())
+}

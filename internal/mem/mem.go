@@ -67,6 +67,8 @@ type Memory struct {
 	liveBytes int64
 	highWater int64
 	allocs    int64 // total number of Alloc calls
+	limit     int64 // live-byte cap (0 = capacity only)
+	failAt    int64 // fault injection: fail when the countdown hits 0
 
 	// Data-only accounting, excluding thread stacks: the paper's
 	// Figure 14 measures program data, and Linux's lazy allocation
@@ -98,6 +100,27 @@ func (m *Memory) SetScanPolicy(p ScanPolicy) {
 	m.mu.Unlock()
 }
 
+// SetLimit caps live allocated bytes at n (0 removes the cap, leaving
+// only the capacity bound). Allocations that would push the live byte
+// count past the limit fail like out-of-memory, which lets tests and
+// operators bound a program's data footprint below the simulated
+// capacity.
+func (m *Memory) SetLimit(n int64) {
+	m.mu.Lock()
+	m.limit = n
+	m.mu.Unlock()
+}
+
+// SetFailAlloc arms the fault-injection hook: the nth Alloc call from
+// now (1 = the very next) fails with an out-of-memory error. n <= 0
+// disarms it. The counter includes every allocation — stacks, interned
+// strings and heap blocks alike.
+func (m *Memory) SetFailAlloc(n int64) {
+	m.mu.Lock()
+	m.failAt = n
+	m.mu.Unlock()
+}
+
 const align = 8
 
 // Alloc reserves size bytes (rounded up to 8-byte alignment) and
@@ -110,6 +133,16 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 	size = (size + align - 1) &^ (align - 1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.failAt > 0 {
+		m.failAt--
+		if m.failAt == 0 {
+			return 0, fmt.Errorf("mem: out of memory allocating %d bytes (fault injection)", size)
+		}
+	}
+	if m.limit > 0 && m.liveBytes+size > m.limit {
+		return 0, fmt.Errorf("mem: out of memory allocating %d bytes (limit %d, live %d)",
+			size, m.limit, m.liveBytes)
+	}
 	n := len(m.freeList)
 	start := 0
 	if m.policy == NextFit && m.cursor > 0 {

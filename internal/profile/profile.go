@@ -104,6 +104,21 @@ func (s *shadow) cell(addr int64) *cell {
 	return &s.page(addr)[addr&pageMask]
 }
 
+// DefSites returns the definition access sites of a checked program:
+// declarations, allocations and argument bindings, whose stores mark
+// fresh storage rather than data flow. Both the profiler and the
+// guarded-execution monitor use the set to kill shadow history on
+// object (re)definition.
+func DefSites(info *sema.Info) map[int]bool {
+	out := map[int]bool{}
+	for id, as := range info.Accesses {
+		if as.IsDef {
+			out[id] = true
+		}
+	}
+	return out
+}
+
 // Loop profiles the target loop of a checked program by running it
 // sequentially. The returned graph contains every dependence observed
 // on any dynamic instance of the loop.
@@ -120,12 +135,7 @@ func Loop(prog *ast.Program, info *sema.Info, loopID int, opts interp.Options) (
 	// Definition sites (declarations and allocations) kill the shadow
 	// history of their bytes: a recycled stack slot or heap address is
 	// a fresh object, not a dependence on its previous tenant.
-	defSite := map[int]bool{}
-	for id, as := range info.Accesses {
-		if as.IsDef {
-			defSite[id] = true
-		}
-	}
+	defSite := DefSites(info)
 
 	var (
 		inLoop   bool

@@ -453,7 +453,7 @@ func (c *checker) call(x *ast.Call, ctx valueCtx) ast.Expr {
 		}
 	}
 	switch sym.Builtin {
-	case ast.BMalloc, ast.BCalloc, ast.BRealloc:
+	case ast.BMalloc, ast.BCalloc, ast.BRealloc, ast.BExpandMalloc:
 		c.allocID++
 		x.AllocSite = c.allocID
 		c.info.Allocs[c.allocID] = x

@@ -124,6 +124,9 @@ func (c *checker) declareBuiltins() {
 	decl("sqrt", ast.BSqrt, d, d)
 	decl("fabs", ast.BFabs, d, d)
 	decl("abs", ast.BAbs, i, i)
+	// Guarded-expansion markers (see ast.BExpandMalloc/BExpandNote).
+	decl("__expand_malloc", ast.BExpandMalloc, voidPtr, l, l)
+	decl("__expand_note", ast.BExpandNote, v, voidPtr, l, l)
 
 	c.info.TID = &ast.Symbol{Name: "__tid", Kind: ast.SymTID, Type: ctypes.IntType}
 	c.info.NTH = &ast.Symbol{Name: "__nthreads", Kind: ast.SymNTH, Type: ctypes.IntType}

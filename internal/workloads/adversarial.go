@@ -1,0 +1,160 @@
+package workloads
+
+// Adversarial bundles a guard-evaluation program pair: the same MiniC
+// source at a training constant and at an exposing constant. The two
+// versions are structurally identical (same loops, access sites and
+// allocation sites — only integer constants differ), so a dependence
+// profile taken on the training version applies site-for-site to the
+// exposing one, mirroring the paper's train/ref input split. The
+// training version makes every iteration satisfy the thread-private
+// pattern (write-then-read on scratch storage); the exposing version
+// breaks it in a way only runtime monitoring can see.
+//
+// These programs are deliberately race-free even when the expansion
+// assumption is violated: every thread still touches only its own
+// copies plus disjoint output slots, so the miscomputation is
+// deterministic and the guarded run stays clean under the Go race
+// detector. The unsynchronized-conflict rule (a true data race) is
+// exercised by guard unit tests on synthesized logs instead.
+type Adversarial struct {
+	Name string
+	// Profile generates the training-input program.
+	Profile func(Scale) string
+	// Expose generates the dependence-exposing program.
+	Expose func(Scale) string
+}
+
+// AdversarialAll returns the guard-evaluation workloads.
+func AdversarialAll() []*Adversarial {
+	return []*Adversarial{AdversarialStencil(), AdversarialKill()}
+}
+
+// AdversarialByName returns the named adversarial workload or nil.
+func AdversarialByName(name string) *Adversarial {
+	for _, a := range AdversarialAll() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AdversarialStencil hides a loop-carried flow dependence behind an
+// input constant. Training input (STRIDE=0): each iteration writes
+// scratch slot i%8 of a global buffer and reads the same slot back —
+// the canonical thread-private pattern (carried anti/output only).
+// Exposing input (STRIDE=1): each iteration reads slot (i+1)%8, whose
+// sequential value comes from iteration i-7 — a carried flow
+// dependence. After expansion each thread reads its own copy, so
+// iterations near chunk boundaries read stale or zero-filled data and
+// the checksum diverges from sequential execution. The guard reports
+// carried-flow (and stale-copy-read for never-written copy bytes)
+// violations naming the tmp write/read site pair.
+func AdversarialStencil() *Adversarial {
+	return &Adversarial{
+		Name:    "adversarial-stencil",
+		Profile: func(s Scale) string { return stencilSource(s, 0) },
+		Expose:  func(s Scale) string { return stencilSource(s, 1) },
+	}
+}
+
+func stencilSource(s Scale, stride int) string {
+	n := pick(s, 96, 192, 4096)
+	return sprintf(stencilTemplate, n, stride)
+}
+
+// Template parameters: %[1]d = iterations, %[2]d = stride.
+const stencilTemplate = `
+int N = %[1]d;
+int STRIDE = %[2]d;
+
+// Scratch buffer: thread-private on the training input.
+long tmp[8];
+
+void kernel(long *out) {
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        tmp[i %% 8] = (long)i * 2654435761 + 99991;
+        out[i] = tmp[(i + STRIDE) %% 8] %% 65536;
+    }
+}
+
+int main() {
+    long *out = (long*)malloc(N * 8);
+    int j;
+    for (j = 0; j < 8; j++) {
+        tmp[j] = (long)(j + 1) * 1000003;
+    }
+    kernel(out);
+    long s = 0;
+    int i;
+    for (i = 0; i < N; i++) {
+        s = s * 31 + out[i];
+    }
+    print_str("adversarial-stencil ");
+    print_long(s);
+    print_char('\n');
+    free(out);
+    return 0;
+}
+`
+
+// AdversarialKill hides a conditional definition behind an input
+// constant. Training input (WLIM=N): every iteration redefines the
+// scratch accumulator before reading it — thread-private. Exposing
+// input (WLIM=0): no iteration writes, so every read is
+// upward-exposed; sequential execution reads the pre-loop values, but
+// threads other than 0 read their zero-filled copies. The guard
+// reports stale-copy-read violations for every non-zero thread. The
+// scratch is an enclosing-function local, exercising the
+// VLA-expansion + __expand_note path (the stencil exercises the
+// converted-global + __expand_malloc path).
+func AdversarialKill() *Adversarial {
+	return &Adversarial{
+		Name: "adversarial-kill",
+		Profile: func(s Scale) string {
+			n := killN(s)
+			return sprintf(killTemplate, n, n)
+		},
+		Expose: func(s Scale) string {
+			return sprintf(killTemplate, killN(s), 0)
+		},
+	}
+}
+
+func killN(s Scale) int { return pick(s, 96, 192, 4096) }
+
+// Template parameters: %[1]d = iterations, %[2]d = write limit.
+const killTemplate = `
+int N = %[1]d;
+int WLIM = %[2]d;
+
+void kernel(long *out) {
+    long acc[2];
+    acc[0] = 1000003;
+    acc[1] = 777;
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        if (i < WLIM) {
+            acc[0] = (long)i * 31 + 5;
+            acc[1] = (long)i + 7;
+        }
+        out[i] = acc[0] * 3 + acc[1];
+    }
+}
+
+int main() {
+    long *out = (long*)malloc(N * 8);
+    kernel(out);
+    long s = 0;
+    int i;
+    for (i = 0; i < N; i++) {
+        s = s * 31 + out[i];
+    }
+    print_str("adversarial-kill ");
+    print_long(s);
+    print_char('\n');
+    free(out);
+    return 0;
+}
+`

@@ -35,6 +35,11 @@ type TransformOptions struct {
 	// them here. Supplying a wrong graph produces a wrong program —
 	// exactly the contract the paper states.
 	Graphs map[int]*ddg.Graph
+	// Guard emits the guard markers (__expand_malloc/__expand_note)
+	// that make the expanded program self-describing for the
+	// guarded-execution monitor (see GuardedRun). It overrides any
+	// Expand.GuardNotes setting.
+	Guard bool
 }
 
 // TransformResult is the outcome of the full expansion pipeline.
@@ -73,6 +78,9 @@ func Transform(p *Program, opts TransformOptions) (*TransformResult, error) {
 	eopts := expand.Optimized()
 	if opts.Expand != nil {
 		eopts = *opts.Expand
+	}
+	if opts.Guard {
+		eopts.GuardNotes = true
 	}
 	copts := ddg.DefaultOptions()
 	if opts.Classify != nil {
