@@ -14,6 +14,9 @@
 // monitor: accesses are checked at each parallel region's end against
 // the expansion's assumptions, and on violation the run falls back to
 // sequential re-execution of the native program (see gdsx.GuardedRun).
+// Adding -recover upgrades the fallback to region-scoped rollback: the
+// violating (or faulting, or -region-timeout-exceeding) region alone
+// re-executes sequentially and the rest of the run stays parallel.
 package main
 
 import (
@@ -57,7 +60,8 @@ func usage() {
   gdsx run      [-threads N] [-seq] [-engine compiled|tree] file.c
   gdsx profile  [-loop ID] [-json] file.c
   gdsx expand   [-unopt] [-interleaved|-adaptive] file.c
-  gdsx pipeline [-threads N] [-engine compiled|tree] [-guard] [-profile-input train.c] file.c`)
+  gdsx pipeline [-threads N] [-engine compiled|tree] [-guard] [-recover]
+                [-region-timeout D] [-profile-input train.c] file.c`)
 	os.Exit(2)
 }
 
@@ -218,6 +222,11 @@ func pipelineCmd(args []string) error {
 	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
 	guarded := fs.Bool("guard", false,
 		"run under the dependence-violation monitor with sequential fallback")
+	recoverRegions := fs.Bool("recover", false,
+		"with -guard: roll back and re-execute a violating region sequentially "+
+			"instead of discarding the whole run")
+	regionTimeout := fs.Duration("region-timeout", 0,
+		"with -recover: watchdog limit per parallel region (e.g. 500ms; 0 = unbounded)")
 	profileInput := fs.String("profile-input", "",
 		"alternate source file for the profiling runs (train/ref input split)")
 	fs.Parse(args)
@@ -241,7 +250,13 @@ func pipelineCmd(args []string) error {
 		}
 		topts.ProfileSource = string(psrc)
 	}
-	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine}
+	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine, RegionTimeout: *regionTimeout}
+	if *recoverRegions && !*guarded {
+		return fmt.Errorf("-recover requires -guard")
+	}
+	if *recoverRegions {
+		ropts.Recover = &gdsx.RecoverySpec{}
+	}
 	if *guarded {
 		tr, err := gdsx.Transform(prog, topts)
 		if err != nil {
@@ -252,12 +267,30 @@ func pipelineCmd(args []string) error {
 			return err
 		}
 		fmt.Print(res.Result.Output)
-		if res.FellBack {
+		switch {
+		case res.FellBack:
 			fmt.Fprintf(os.Stderr, "guard: dependence violation detected; "+
 				"parallel run discarded, output is the sequential re-execution\n%s\n",
 				res.Violation)
-		} else {
+		case res.Recovered > 0:
+			fmt.Fprintf(os.Stderr, "guard: %d region failure(s) recovered by "+
+				"rollback; the rest of the run stayed parallel\n", res.Recovered)
+		default:
 			fmt.Fprintf(os.Stderr, "guard: %d-thread run completed, no violations\n", *threads)
+		}
+		for _, r := range res.Regions {
+			fmt.Fprintf(os.Stderr,
+				"guard: region loop#%d: %d parallel, %d sequential, %d rollback(s)"+
+					" (%d violation(s), %d fault(s), %d timeout(s))",
+				r.Loop, r.ParallelRuns, r.SeqRuns, r.Rollbacks,
+				r.Violations, r.Faults, r.Timeouts)
+			if r.Demoted {
+				fmt.Fprint(os.Stderr, " [demoted]")
+			}
+			if r.LastFailure != "" {
+				fmt.Fprintf(os.Stderr, " last: %s", r.LastFailure)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 		status := "MATCH"
 		if res.Result.Output != native.Output {

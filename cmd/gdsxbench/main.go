@@ -9,13 +9,17 @@
 //	gdsxbench [-scale test|profile|bench] [-engine compiled|tree] [-exp all|table4|table5|fig8|...|fig14]
 //	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
 //	gdsxbench -guard [-scale ...] [-o BENCH_guard.json]
+//	gdsxbench -recovery [-scale ...] [-o BENCH_recovery.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
 // and writes the comparison as JSON. The -guard mode measures the
 // guarded-execution monitor's overhead on violation-free parallel runs
 // (use -scale profile: the monitor logs every access, so bench-scale
-// inputs need log memory proportional to their operation count).
+// inputs need log memory proportional to their operation count). The
+// -recovery mode compares region rollback-and-resume against the
+// whole-program fallback on the violating adversarial inputs, and
+// measures the region-snapshot overhead on violation-free runs.
 package main
 
 import (
@@ -39,7 +43,10 @@ func main() {
 		"measure tree vs compiled engine wall clock and write JSON")
 	benchGuard := flag.Bool("guard", false,
 		"measure guarded-execution monitor overhead on violation-free runs and write JSON")
-	outFile := flag.String("o", "", "output file (default BENCH_engine.json or BENCH_guard.json)")
+	benchRecovery := flag.Bool("recovery", false,
+		"measure region rollback-and-resume vs whole-program fallback, plus"+
+			" no-violation snapshot overhead, and write JSON")
+	outFile := flag.String("o", "", "output file (default BENCH_engine.json, BENCH_guard.json or BENCH_recovery.json)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -94,6 +101,22 @@ func main() {
 		}
 		fmt.Print(rep.Render())
 		writeJSON(rep, *outFile, "BENCH_guard.json", "guard overhead", start)
+		return
+	}
+
+	if *benchRecovery {
+		if cfg.Scale == workloads.BenchScale {
+			fmt.Fprintln(os.Stderr, "gdsxbench: note: recovery runs are guarded, so"+
+				" the monitor logs every access; -scale profile is the intended"+
+				" operating point.")
+		}
+		rep, err := h.Recovery()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		writeJSON(rep, *outFile, "BENCH_recovery.json", "recovery comparison", start)
 		return
 	}
 

@@ -15,6 +15,7 @@ package gdsx
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gdsx/internal/ast"
 	"gdsx/internal/ddg"
@@ -82,7 +83,10 @@ type RunOptions struct {
 	MemLimit int64
 	// FailAlloc makes the nth allocation from program start fail with
 	// an out-of-memory error (0 = disabled); fault injection for
-	// robustness tests.
+	// robustness tests. Note that when a guarded run falls back or a
+	// region rolls back, the injection is disarmed rather than rewound:
+	// replaying the countdown would fire it at an unrelated allocation
+	// of the re-execution (see GuardedRun).
 	FailAlloc int64
 	// Hooks intercept execution (profiling, runtime privatization).
 	Hooks *interp.Hooks
@@ -91,7 +95,24 @@ type RunOptions struct {
 	// the tree-walking reference implementation. Both engines produce
 	// byte-identical output and identical instruction counters.
 	Engine Engine
+	// Recover enables region-scoped checkpoint/rollback recovery: each
+	// parallel region snapshots mutable machine state on entry, and a
+	// guard violation, worker fault or watchdog timeout rolls just that
+	// region back and re-executes it sequentially, letting the rest of
+	// the run keep its parallelism. &RecoverySpec{} selects the
+	// defaults; nil disables recovery.
+	Recover *RecoverySpec
+	// RegionTimeout bounds each parallel region's wall-clock time
+	// (0 = unbounded). With Recover set, a stuck region is rolled back
+	// and re-executed sequentially; without it the run fails.
+	RegionTimeout time.Duration
 }
+
+// RecoverySpec re-exports the interpreter's recovery configuration.
+type RecoverySpec = interp.RecoverySpec
+
+// RegionStats re-exports the interpreter's per-region health record.
+type RegionStats = interp.RegionStats
 
 // Engine re-exports the interpreter's engine selector.
 type Engine = interp.Engine
@@ -124,6 +145,8 @@ func (o RunOptions) interpOptions() interp.Options {
 		FailAlloc:       o.FailAlloc,
 		Hooks:           o.Hooks,
 		Engine:          o.Engine,
+		Recover:         o.Recover,
+		RegionTimeout:   o.RegionTimeout,
 	}
 }
 

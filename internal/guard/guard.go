@@ -99,6 +99,11 @@ type Monitor struct {
 	nthreads    int
 	logs        [][]interp.Access
 	regionNotes []note
+
+	// reports accumulates every violation the monitor detected, in
+	// region order. With region-scoped recovery a run can survive
+	// several violating regions, so one run may collect several reports.
+	reports []*Report
 }
 
 // New creates a Monitor.
@@ -115,12 +120,21 @@ func New(cfg Config) *Monitor {
 // Hooks returns the interpreter hooks that feed the monitor.
 func (m *Monitor) Hooks() *interp.Hooks {
 	return &interp.Hooks{
-		Observe:       m.observe,
-		Expand:        m.noteExpand,
-		Free:          m.free,
-		ParallelStart: m.parallelStart,
-		ParallelEnd:   m.parallelEnd,
+		Observe:        m.observe,
+		Expand:         m.noteExpand,
+		Free:           m.free,
+		ParallelStart:  m.parallelStart,
+		ParallelEnd:    m.parallelEnd,
+		ParallelCancel: m.parallelCancel,
 	}
+}
+
+// Reports returns every violation report the monitor has raised, in
+// region order. Under region-scoped recovery each report corresponds
+// to one rolled-back region; without recovery at most one exists (the
+// abort ends the run).
+func (m *Monitor) Reports() []*Report {
+	return append([]*Report(nil), m.reports...)
 }
 
 func (m *Monitor) total(n note) int64 { return n.span * int64(m.cfg.Threads) }
@@ -192,8 +206,21 @@ func (m *Monitor) parallelEnd(loopID int) {
 	m.logs = nil
 	rep := m.replay(logs)
 	if rep != nil {
+		m.reports = append(m.reports, rep)
 		panic(interp.Abort{Err: &ViolationError{Report: rep}})
 	}
+}
+
+// parallelCancel discards a cancelled region's logs without the
+// safe-point replay: the region was abandoned mid-flight (watchdog
+// timeout), so the per-thread logs are truncated at arbitrary points
+// and replaying them would manufacture false violations.
+func (m *Monitor) parallelCancel(loopID int) {
+	if !m.active {
+		return
+	}
+	m.active = false
+	m.logs = nil
 }
 
 // canonical maps a concrete address to its de-expanded (canonical)

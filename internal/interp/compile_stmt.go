@@ -257,6 +257,12 @@ func (c *compiler) compileWhile(x *ast.While) cstmt {
 	if h == nil {
 		return func(t *thread, f *frame) ctrl {
 			for {
+				// Loop back-edges are cancellation safe points, so a
+				// cancelled region (sibling fault, watchdog timeout) can
+				// interrupt a worker stuck in a MiniC-level loop.
+				if t.cancel != nil && t.cancel.Load() {
+					panic(regionCanceled{})
+				}
 				if !tr(cond(t, f)) {
 					break
 				}
@@ -277,6 +283,9 @@ func (c *compiler) compileWhile(x *ast.While) cstmt {
 		}
 		var iter int64
 		for {
+			if t.cancel != nil && t.cancel.Load() {
+				panic(regionCanceled{}) // cancelled region safe point
+			}
 			if t.isMain && h.LoopIter != nil {
 				h.LoopIter(id, iter)
 			}
@@ -308,6 +317,9 @@ func (c *compiler) compileDoWhile(x *ast.DoWhile) cstmt {
 	if h == nil {
 		return func(t *thread, f *frame) ctrl {
 			for {
+				if t.cancel != nil && t.cancel.Load() {
+					panic(regionCanceled{}) // cancelled region safe point
+				}
 				cc := body(t, f)
 				if cc == ctrlBreak {
 					break
@@ -328,6 +340,9 @@ func (c *compiler) compileDoWhile(x *ast.DoWhile) cstmt {
 		}
 		var iter int64
 		for {
+			if t.cancel != nil && t.cancel.Load() {
+				panic(regionCanceled{}) // cancelled region safe point
+			}
 			if t.isMain && h.LoopIter != nil {
 				h.LoopIter(id, iter)
 			}
@@ -381,8 +396,7 @@ func (c *compiler) compileFor(x *ast.For) cstmt {
 			if traced != nil {
 				return traced(t, f)
 			}
-			t.runParallelFor(f, x, initB, bodyB)
-			return ctrlNext
+			return t.runParallelFor(f, x, initB, bodyB, bodyFn(seq))
 		}
 		return seq(t, f)
 	}
@@ -421,6 +435,9 @@ func (c *compiler) compileSeqFor(x *ast.For) cstmt {
 		}
 		var iter int64
 		for {
+			if t.cancel != nil && t.cancel.Load() {
+				panic(regionCanceled{}) // cancelled region safe point
+			}
 			if h != nil && t.isMain && h.LoopIter != nil {
 				h.LoopIter(id, iter)
 			}

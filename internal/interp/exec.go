@@ -72,6 +72,12 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 		}
 		var iter int64
 		for {
+			// A cancelled region (sibling fault or watchdog timeout)
+			// must be able to interrupt a worker stuck in a MiniC-level
+			// loop, so every loop back-edge is a safe point.
+			if t.cancel != nil && t.cancel.Load() {
+				panic(regionCanceled{})
+			}
 			// The iteration hook fires before the condition so the
 			// profiler attributes condition loads to the iteration
 			// they guard (see package profile).
@@ -102,6 +108,9 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 		}
 		var iter int64
 		for {
+			if t.cancel != nil && t.cancel.Load() {
+				panic(regionCanceled{}) // cancelled region: see While
+			}
 			if h != nil && t.isMain && h.LoopIter != nil {
 				h.LoopIter(x.ID, iter)
 			}
@@ -132,9 +141,9 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 				if x.Init != nil {
 					init = func(t *thread, f *frame) ctrl { return t.exec(f, x.Init) }
 				}
-				t.runParallelFor(f, x, init,
-					func(t *thread, f *frame) ctrl { return t.exec(f, x.Body) })
-				return ctrlNext
+				return t.runParallelFor(f, x, init,
+					func(t *thread, f *frame) ctrl { return t.exec(f, x.Body) },
+					func(t *thread, f *frame) ctrl { return t.execSeqFor(f, x) })
 			}
 		}
 		return t.execSeqFor(f, x)
@@ -221,6 +230,9 @@ func (t *thread) execSeqFor(f *frame, x *ast.For) ctrl {
 	}
 	var iter int64
 	for {
+		if t.cancel != nil && t.cancel.Load() {
+			panic(regionCanceled{}) // cancelled region: see While in exec
+		}
 		// Fire the iteration hook before the condition so the profiler
 		// attributes condition and post-expression accesses to the
 		// iteration they belong to (see package profile).

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"time"
 
 	"gdsx/internal/ast"
 	"gdsx/internal/mem"
@@ -52,6 +53,11 @@ type Hooks struct {
 	// ParallelStart/ParallelEnd bracket a parallel loop execution.
 	ParallelStart func(loopID, nthreads int)
 	ParallelEnd   func(loopID int)
+	// ParallelCancel replaces ParallelEnd for a region abandoned
+	// mid-flight (watchdog timeout): per-thread observations are
+	// partial, so observers should discard them instead of running
+	// their safe-point analysis.
+	ParallelCancel func(loopID int)
 	// Observe, when set, watches every sited memory access on every
 	// thread (with the address Redirect produced, if any): the feed of
 	// the guarded-execution monitor. It also sees definition events
@@ -118,6 +124,16 @@ type Options struct {
 	// closure-compiling engine; EngineTree is the tree-walking
 	// reference implementation (see engine.go).
 	Engine Engine
+	// Recover enables region-scoped checkpoint/rollback recovery: each
+	// parallel region snapshots mutable state on entry, and a guard
+	// abort, worker fault or watchdog timeout rolls the region back and
+	// re-executes it sequentially instead of failing the run.
+	Recover *RecoverySpec
+	// RegionTimeout bounds each parallel region's wall-clock time
+	// (0 = unbounded). An expired watchdog cancels the workers; with
+	// Recover set the region is rolled back and re-executed
+	// sequentially, without it the run fails with a runtime error.
+	RegionTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -143,6 +159,9 @@ type Result struct {
 	// Traces holds one entry per parallel-loop instance when the
 	// machine ran with TraceParallel.
 	Traces []*LoopTrace
+	// Regions holds per-region recovery health records (sorted by loop
+	// ID) when the machine ran with Options.Recover.
+	Regions []RegionStats
 }
 
 // Machine executes one MiniC program.
@@ -167,6 +186,10 @@ type Machine struct {
 
 	inParallel bool
 
+	// recovery is the region-recovery controller, nil unless the
+	// machine runs with Options.Recover.
+	recovery *recoveryState
+
 	// code holds the closure-compiled function bodies when the machine
 	// runs with EngineCompiled; nil under EngineTree.
 	code *compiledProg
@@ -187,6 +210,9 @@ func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 	}
 	if opts.FailAlloc > 0 {
 		m.mem.SetFailAlloc(opts.FailAlloc)
+	}
+	if opts.Recover != nil {
+		m.recovery = newRecoveryState(*opts.Recover)
 	}
 	if opts.Engine == EngineCompiled {
 		m.code = compileProgram(m)
@@ -242,6 +268,13 @@ func (m *Machine) Run() (res Result, err error) {
 				err = ab.Err
 				return
 			}
+			// A contained region failure that no recovery caught (the
+			// machine runs without Options.Recover): surface the
+			// underlying error unchanged.
+			if rf, ok := r.(regionFault); ok {
+				err = rf.err
+				return
+			}
 			panic(r)
 		}
 	}()
@@ -268,7 +301,19 @@ func (m *Machine) Run() (res Result, err error) {
 		MemOps:   m.memOps,
 		Traces:   m.traces,
 	}
+	if m.recovery != nil {
+		res.Regions = m.recovery.snapshot()
+	}
 	return res, nil
+}
+
+// RegionStats returns the per-region recovery health records (sorted
+// by loop ID); empty unless the machine runs with Options.Recover.
+func (m *Machine) RegionStats() []RegionStats {
+	if m.recovery == nil {
+		return nil
+	}
+	return m.recovery.snapshot()
 }
 
 func (m *Machine) mergeCounters(t *thread) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gdsx/internal/ast"
 	"gdsx/internal/token"
@@ -123,8 +124,74 @@ type bodyFn func(t *thread, f *frame) ctrl
 // scheduling with chunk size one plus ordered-section tickets, the
 // schedules the paper uses with Gomp (§4.3). init executes the loop
 // initializer (nil when the loop has none) and body one iteration's
-// body; both engines share everything else.
-func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
+// body; seq executes the entire loop sequentially on the calling
+// thread (the engine's sequential-for path), used by region recovery
+// and demotion. Both engines share everything else.
+//
+// Without Options.Recover the parallel attempt's failures propagate as
+// panics (Machine.Run unwraps them into errors); with it, a guard
+// abort, worker fault or watchdog timeout rolls the region back to its
+// entry snapshot and re-executes just this loop via seq, so the run
+// survives at O(region) cost. Sequential execution returns whatever
+// control outcome the loop produced (a sequential re-execution may
+// legally break or return, which a parallel run rejects).
+func (t *thread) runParallelFor(f *frame, x *ast.For, init, body, seq bodyFn) ctrl {
+	rc := t.m.recovery
+	if rc == nil {
+		t.parallelAttempt(f, x, init, body)
+		return ctrlNext
+	}
+	if !rc.admit(x.ID) {
+		// Demoted: run sequentially without snapshot or region hooks.
+		return seq(t, f)
+	}
+	snap := t.beginRegionSnapshot()
+	var fail *regionFault
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			switch v := r.(type) {
+			case Abort:
+				// The guard monitor detected a dependence violation at
+				// the safe point.
+				fail = &regionFault{kind: FailViolation, err: v.Err}
+			case regionFault:
+				fail = &v
+			default:
+				// A fault in region setup (bounds evaluation, spawning)
+				// or an interpreter bug — not a contained worker fault.
+				// Recovery cannot assume sequential re-execution
+				// converges (a zero-step parallel loop re-executed
+				// sequentially never terminates), so keep the state and
+				// propagate.
+				t.m.mem.Commit(snap.ms)
+				panic(r)
+			}
+		}()
+		t.parallelAttempt(f, x, init, body)
+	}()
+	if fail == nil {
+		pages, bytes := t.m.mem.Commit(snap.ms)
+		rc.noteSuccess(x.ID, pages, bytes)
+		return ctrlNext
+	}
+	pages, bytes := t.rollbackRegion(snap)
+	rc.noteFailure(x.ID, fail, pages, bytes)
+	// Re-execute only this region, sequentially, from the restored
+	// pre-region state. On thread 0 the expanded program touches only
+	// copy 0 of every expanded structure, so this reproduces native
+	// sequential semantics.
+	return seq(t, f)
+}
+
+// parallelAttempt runs one parallel execution of the region. It
+// returns normally on success and panics on failure: interp.Abort for
+// a guard violation (raised by the monitor's safe-point hook),
+// regionFault for a contained worker fault or a watchdog timeout.
+func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 	if init != nil {
 		init(t, f)
 	}
@@ -136,10 +203,24 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
 	if h := t.m.opts.Hooks; h != nil && h.ParallelStart != nil {
 		h.ParallelStart(x.ID, nt)
 	}
+	var timedOut atomic.Bool
 	t.m.inParallel = true
 	defer func() {
 		t.m.inParallel = false
-		if h := t.m.opts.Hooks; h != nil && h.ParallelEnd != nil {
+		h := t.m.opts.Hooks
+		if h == nil {
+			return
+		}
+		if timedOut.Load() {
+			// The region was abandoned mid-flight: per-thread logs are
+			// partial, so the monitor must discard them rather than run
+			// its safe-point replay on a truncated schedule.
+			if h.ParallelCancel != nil {
+				h.ParallelCancel(x.ID)
+			}
+			return
+		}
+		if h.ParallelEnd != nil {
 			h.ParallelEnd(x.ID)
 		}
 	}()
@@ -168,6 +249,17 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
 	// would otherwise leave them waiting forever — and is re-raised on
 	// the spawning thread as a positioned runtime error.
 	var cancel atomic.Bool
+	// Region watchdog: a stuck region (a worker spinning on state a
+	// cancelled or misbehaving sibling will never produce) is cancelled
+	// at the workers' next safe point — iteration dispatch, the
+	// ordered-section spin, or any loop back-edge.
+	if d := t.m.opts.RegionTimeout; d > 0 {
+		timer := time.AfterFunc(d, func() {
+			timedOut.Store(true)
+			cancel.Store(true)
+		})
+		defer timer.Stop()
+	}
 	var wg sync.WaitGroup
 	faults := make([]*workerFault, nt)
 	for i := 0; i < nt; i++ {
@@ -206,15 +298,20 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body bodyFn) {
 	}
 	if fault := firstFault(faults); fault != nil {
 		if re, ok := fault.val.(RuntimeError); ok {
-			// Annotate and re-panic; Run (or an enclosing recover) turns
-			// it into the error returned to the caller. The panic unwinds
-			// through the deferred ParallelEnd above, so a guard monitor
-			// still gets its safe-point check (a detected dependence
-			// violation there takes precedence over the worker fault).
-			panic(RuntimeError{Pos: re.Pos,
-				Msg: fmt.Sprintf("%s (parallel worker %d, iteration %d)", re.Msg, fault.tid, fault.iter)})
+			// Annotate and re-panic as a contained region failure; the
+			// region recovery (or, without one, Machine.Run) turns it
+			// into the error callers see. The panic unwinds through the
+			// deferred ParallelEnd above, so a guard monitor still gets
+			// its safe-point check (a detected dependence violation
+			// there takes precedence over the worker fault).
+			panic(regionFault{kind: FailFault, err: RuntimeError{Pos: re.Pos,
+				Msg: fmt.Sprintf("%s (parallel worker %d, iteration %d)", re.Msg, fault.tid, fault.iter)}})
 		}
 		panic(fault.val) // interpreter bug: propagate unchanged
+	}
+	if timedOut.Load() {
+		panic(regionFault{kind: FailTimeout, err: RuntimeError{Pos: x.Pos(),
+			Msg: fmt.Sprintf("parallel region timed out after %v", t.m.opts.RegionTimeout)}})
 	}
 	// Sequential semantics after the loop: the induction variable holds
 	// its first value failing the condition.

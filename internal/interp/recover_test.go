@@ -1,0 +1,95 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRecoveryAdmitDemoteCooldown(t *testing.T) {
+	rc := newRecoveryState(RecoverySpec{MaxStrikes: 2, Cooldown: 3})
+	fail := &regionFault{kind: FailViolation, err: errors.New("boom")}
+
+	if !rc.admit(7) {
+		t.Fatal("healthy region not admitted")
+	}
+	rc.noteFailure(7, fail, 1, 100)
+	if !rc.admit(7) {
+		t.Fatal("one strike below MaxStrikes must still admit")
+	}
+	rc.noteFailure(7, fail, 2, 200)
+	// Second strike: demoted for Cooldown sequential runs.
+	for i := 0; i < 3; i++ {
+		if rc.admit(7) {
+			t.Fatalf("demoted region admitted during cooldown run %d", i)
+		}
+	}
+	// Cooldown elapsed: re-promoted with one remaining strike.
+	if !rc.admit(7) {
+		t.Fatal("region not re-promoted after cooldown")
+	}
+	rc.noteFailure(7, fail, 1, 50)
+	if rc.admit(7) {
+		t.Fatal("re-promoted region must demote again on the next strike")
+	}
+
+	st := rc.snapshot()
+	if len(st) != 1 {
+		t.Fatalf("expected 1 region record, got %d", len(st))
+	}
+	s := st[0]
+	if s.Loop != 7 || s.Violations != 3 || s.Rollbacks != 3 ||
+		s.RollbackPages != 4 || s.RollbackBytes != 350 ||
+		s.Repromotions != 1 || !s.Demoted {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	// SeqRuns: one per rollback (3) + cooldown runs (3 demoted + the
+	// final demoted admit) = 7.
+	if s.SeqRuns != 7 {
+		t.Fatalf("SeqRuns = %d, want 7", s.SeqRuns)
+	}
+	if s.LastFailure != "boom" {
+		t.Fatalf("LastFailure = %q", s.LastFailure)
+	}
+}
+
+func TestRecoveryDemotedForeverWithoutCooldown(t *testing.T) {
+	rc := newRecoveryState(RecoverySpec{MaxStrikes: 1})
+	rc.noteFailure(3, &regionFault{kind: FailTimeout}, 0, 0)
+	for i := 0; i < 10; i++ {
+		if rc.admit(3) {
+			t.Fatal("Cooldown=0 region must stay demoted")
+		}
+	}
+	s := rc.snapshot()[0]
+	if s.Timeouts != 1 || !s.Demoted || s.Repromotions != 0 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestRecoveryStrikesAccumulateAcrossSuccesses(t *testing.T) {
+	rc := newRecoveryState(RecoverySpec{}) // defaults: MaxStrikes 2
+	fail := &regionFault{kind: FailFault, err: errors.New("oom")}
+	rc.noteFailure(1, fail, 0, 0)
+	for i := 0; i < 5; i++ {
+		rc.noteSuccess(1, 1, 10)
+	}
+	rc.noteFailure(1, fail, 0, 0)
+	if rc.admit(1) {
+		t.Fatal("successes must not reset strikes: second failure demotes")
+	}
+	s := rc.snapshot()[0]
+	if s.ParallelRuns != 5 || s.Faults != 2 || s.SnapshotPages != 5 || s.SnapshotBytes != 50 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestRecoverySnapshotSortedByLoop(t *testing.T) {
+	rc := newRecoveryState(RecoverySpec{})
+	rc.noteSuccess(9, 0, 0)
+	rc.noteSuccess(2, 0, 0)
+	rc.noteSuccess(5, 0, 0)
+	st := rc.snapshot()
+	if len(st) != 3 || st[0].Loop != 2 || st[1].Loop != 5 || st[2].Loop != 9 {
+		t.Fatalf("stats not sorted by loop: %+v", st)
+	}
+}

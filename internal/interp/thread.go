@@ -86,7 +86,10 @@ func (t *thread) alloca(size int64, pos token.Pos) int64 {
 	t.sp += size
 	// Stack slots are reused; zero them so programs see deterministic
 	// values, mirroring the allocator's zeroing of heap blocks. clear
-	// compiles to a runtime memclr instead of a byte loop.
+	// compiles to a runtime memclr instead of a byte loop. The write
+	// bypasses the Store paths, so tell the region snapshot (if one is
+	// active) before destroying the bytes.
+	t.m.mem.NoteWrite(a, size)
 	clear(t.m.mem.Bytes(a, size))
 	return a
 }

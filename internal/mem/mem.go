@@ -75,6 +75,12 @@ type Memory struct {
 	// means unused stack reservations cost nothing there either.
 	liveData      int64
 	highWaterData int64
+
+	// snap is the active region snapshot's write log, nil outside one.
+	// It is set and cleared only at parallel-region boundaries, which
+	// happen-before/after all worker goroutines, so the plain reads in
+	// the store paths are race-free.
+	snap *snapState
 }
 
 // New creates a memory of the given capacity in bytes.
@@ -186,7 +192,12 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 		}
 		// Zero the block: C malloc does not guarantee this, but MiniC
 		// does, which keeps program output deterministic. clear compiles
-		// to a runtime memclr instead of a byte-at-a-time loop.
+		// to a runtime memclr instead of a byte-at-a-time loop. The
+		// zeroing may destroy bytes that were live at snapshot time
+		// (freed then reallocated), so it logs like any other write.
+		if s := m.snap; s != nil {
+			s.touch(m.data, base, size)
+		}
 		clear(m.data[base : base+size])
 		return base, nil
 	}
@@ -374,25 +385,42 @@ func (m *Memory) Load8(addr int64) uint64 {
 }
 
 // Store1 writes one byte.
-func (m *Memory) Store1(addr int64, v uint64) { m.data[addr] = byte(v) }
+func (m *Memory) Store1(addr int64, v uint64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, addr, 1)
+	}
+	m.data[addr] = byte(v)
+}
 
 // Store2 writes a little-endian 2-byte value.
 func (m *Memory) Store2(addr int64, v uint64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, addr, 2)
+	}
 	binary.LittleEndian.PutUint16(m.data[addr:], uint16(v))
 }
 
 // Store4 writes a little-endian 4-byte value.
 func (m *Memory) Store4(addr int64, v uint64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, addr, 4)
+	}
 	binary.LittleEndian.PutUint32(m.data[addr:], uint32(v))
 }
 
 // Store8 writes a little-endian 8-byte value.
 func (m *Memory) Store8(addr int64, v uint64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, addr, 8)
+	}
 	binary.LittleEndian.PutUint64(m.data[addr:], v)
 }
 
 // Store writes a little-endian value of the given byte size.
 func (m *Memory) Store(addr int64, size int, v uint64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, addr, int64(size))
+	}
 	switch size {
 	case 1:
 		m.data[addr] = byte(v)
@@ -409,6 +437,9 @@ func (m *Memory) Store(addr int64, size int, v uint64) {
 
 // Memset fills n bytes at addr with v.
 func (m *Memory) Memset(addr int64, v byte, n int64) {
+	if sn := m.snap; sn != nil {
+		sn.touch(m.data, addr, n)
+	}
 	s := m.data[addr : addr+n]
 	if v == 0 {
 		clear(s)
@@ -422,5 +453,8 @@ func (m *Memory) Memset(addr int64, v byte, n int64) {
 // Memcpy copies n bytes from src to dst (regions may not overlap in
 // MiniC programs; overlapping copies follow Go's copy semantics).
 func (m *Memory) Memcpy(dst, src, n int64) {
+	if s := m.snap; s != nil {
+		s.touch(m.data, dst, n)
+	}
 	copy(m.data[dst:dst+n], m.data[src:src+n])
 }

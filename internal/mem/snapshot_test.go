@@ -1,0 +1,170 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotRollbackRestoresBytesAndAllocator(t *testing.T) {
+	m := New(1 << 16)
+	a, err := m.Alloc(256, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 256; i += 8 {
+		m.Store8(a+i, uint64(i)*7+1)
+	}
+	before := m.Stats()
+
+	s := m.BeginSnapshot()
+	for i := int64(0); i < 256; i += 8 {
+		m.Store8(a+i, 0xdeadbeef)
+	}
+	b, err := m.Alloc(512, 2, "") // must vanish on rollback
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Memset(b, 0xff, 512)
+	pages, bytes := m.Rollback(s)
+	if pages == 0 || bytes == 0 {
+		t.Fatalf("rollback restored nothing: %d pages, %d bytes", pages, bytes)
+	}
+
+	for i := int64(0); i < 256; i += 8 {
+		if v := m.Load8(a + i); v != uint64(i)*7+1 {
+			t.Fatalf("byte not restored at +%d: got %#x", i, v)
+		}
+	}
+	after := m.Stats()
+	if after != before {
+		t.Fatalf("allocator stats not restored: %+v vs %+v", after, before)
+	}
+	if err := m.Free(b); err == nil {
+		t.Fatal("allocation made during the snapshot survived rollback")
+	}
+	// The rolled-back region's addresses are free again.
+	c, err := m.Alloc(512, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != b {
+		t.Fatalf("rolled-back block not reusable first-fit: got %d, want %d", c, b)
+	}
+}
+
+func TestSnapshotCommitKeepsWrites(t *testing.T) {
+	m := New(1 << 16)
+	a, _ := m.Alloc(64, 1, "")
+	s := m.BeginSnapshot()
+	m.Store8(a, 42)
+	if pages, _ := m.Commit(s); pages != 1 {
+		t.Fatalf("expected 1 logged page, got %d", pages)
+	}
+	if v := m.Load8(a); v != 42 {
+		t.Fatalf("commit lost a write: %d", v)
+	}
+	// The snapshot is gone; a new one can begin.
+	s2 := m.BeginSnapshot()
+	m.Store8(a, 99)
+	m.Rollback(s2)
+	if v := m.Load8(a); v != 42 {
+		t.Fatalf("second snapshot rolled back to wrong value: %d", v)
+	}
+}
+
+func TestSnapshotRollbackUndoesFree(t *testing.T) {
+	m := New(1 << 16)
+	a, _ := m.Alloc(128, 1, "")
+	m.Store8(a, 7)
+	s := m.BeginSnapshot()
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the freed block so its bytes are clobbered too.
+	b, _ := m.Alloc(128, 2, "")
+	if b != a {
+		t.Fatalf("expected first-fit reuse for the test to bite: %d vs %d", b, a)
+	}
+	m.Store8(b, 1000)
+	m.Rollback(s)
+	if v := m.Load8(a); v != 7 {
+		t.Fatalf("freed-then-clobbered block not restored: %d", v)
+	}
+	if err := m.Free(a); err != nil {
+		t.Fatalf("block freed during snapshot should be live again: %v", err)
+	}
+}
+
+func TestSnapshotRollbackDisarmsFailAlloc(t *testing.T) {
+	m := New(1 << 16)
+	s := m.BeginSnapshot()
+	m.SetFailAlloc(1)
+	if _, err := m.Alloc(64, 1, ""); err == nil {
+		t.Fatal("fault injection did not fire")
+	}
+	m.Rollback(s)
+	// The countdown belongs to the rolled-back attempt; it must not be
+	// re-armed against the re-execution.
+	if _, err := m.Alloc(64, 1, ""); err != nil {
+		t.Fatalf("fault injection re-armed after rollback: %v", err)
+	}
+}
+
+func TestSnapshotConcurrentWriters(t *testing.T) {
+	m := New(1 << 20)
+	const n = 64 * 1024
+	a, err := m.Alloc(n, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i += 8 {
+		m.Store8(a+i, uint64(i)+1)
+	}
+	s := m.BeginSnapshot()
+
+	// Many writers share pages: every goroutine strides across the whole
+	// block, so each page's pre-image claim is contended.
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(w) * 8; i < n; i += workers * 8 {
+				m.Store8(a+i, 0xabcdef)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m.Rollback(s)
+	for i := int64(0); i < n; i += 8 {
+		if v := m.Load8(a + i); v != uint64(i)+1 {
+			t.Fatalf("concurrent rollback lost bytes at +%d: %#x", i, v)
+		}
+	}
+}
+
+func TestSnapshotNestingPanics(t *testing.T) {
+	m := New(1 << 12)
+	m.BeginSnapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested BeginSnapshot did not panic")
+		}
+	}()
+	m.BeginSnapshot()
+}
+
+func TestSnapshotNoteWriteCoversRawWrites(t *testing.T) {
+	m := New(1 << 16)
+	a, _ := m.Alloc(64, 1, "")
+	m.Store8(a, 5)
+	s := m.BeginSnapshot()
+	m.NoteWrite(a, 8)
+	copy(m.Bytes(a, 8), []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	m.Rollback(s)
+	if v := m.Load8(a); v != 5 {
+		t.Fatalf("raw write not rolled back: %d", v)
+	}
+}

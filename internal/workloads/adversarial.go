@@ -26,7 +26,7 @@ type Adversarial struct {
 
 // AdversarialAll returns the guard-evaluation workloads.
 func AdversarialAll() []*Adversarial {
-	return []*Adversarial{AdversarialStencil(), AdversarialKill()}
+	return []*Adversarial{AdversarialStencil(), AdversarialKill(), AdversarialMultiRegion()}
 }
 
 // AdversarialByName returns the named adversarial workload or nil.

@@ -1,0 +1,164 @@
+package workloads
+
+// Multi-region adversarial programs for region-scoped recovery: where
+// the single-region adversarials (adversarial.go) prove the guard
+// detects a violation, these prove recovery contains one. The
+// multiregion program has three parallel regions of which only the
+// middle one violates on the exposing input, so a region-scoped
+// recovery should re-execute region 2 sequentially while regions 1 and
+// 3 keep their parallelism; the stuck program's exposing input makes
+// every thread but 0 spin forever on its own zero-filled copy, which
+// only a region watchdog can turn back into a completed run.
+
+// AdversarialMultiRegion chains three parallel stencil-style regions
+// through heap arrays (region 1 fills a, region 2 maps a to b, region
+// 3 maps b to c). Each region privatizes its own scratch global on the
+// training input (STRIDE=0); the exposing input (STRIDE=1) adds a
+// carried flow dependence to region 2's scratch reads only. Regions 1
+// and 3 stay clean on either input, and region 3 consumes region 2's
+// output — so a run is only correct if region 2's recovery restored
+// and recomputed b before region 3 read it.
+func AdversarialMultiRegion() *Adversarial {
+	return &Adversarial{
+		Name:    "adversarial-multiregion",
+		Profile: func(s Scale) string { return multiRegionSource(s, 0) },
+		Expose:  func(s Scale) string { return multiRegionSource(s, 1) },
+	}
+}
+
+func multiRegionSource(s Scale, stride int) string {
+	n := pick(s, 96, 192, 4096)
+	return sprintf(multiRegionTemplate, n, stride)
+}
+
+// Template parameters: %[1]d = iterations, %[2]d = stride.
+const multiRegionTemplate = `
+int N = %[1]d;
+int STRIDE = %[2]d;
+
+// Per-region scratch buffers: thread-private on the training input.
+long t1[8];
+long t2[8];
+long t3[8];
+
+void stage1(long *a) {
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        t1[i %% 8] = (long)i * 1103515245 + 12345;
+        a[i] = t1[i %% 8] %% 4096;
+    }
+}
+
+void stage2(long *a, long *b) {
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        t2[i %% 8] = a[i] * 31 + 7;
+        b[i] = t2[(i + STRIDE) %% 8] %% 4096;
+    }
+}
+
+void stage3(long *b, long *c) {
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        t3[i %% 8] = b[i] * 17 + 3;
+        c[i] = t3[i %% 8] %% 4096;
+    }
+}
+
+int main() {
+    long *a = (long*)malloc(N * 8);
+    long *b = (long*)malloc(N * 8);
+    long *c = (long*)malloc(N * 8);
+    int j;
+    for (j = 0; j < 8; j++) {
+        t1[j] = (long)(j + 1) * 7919;
+        t2[j] = (long)(j + 1) * 104729;
+        t3[j] = (long)(j + 1) * 1299709;
+    }
+    stage1(a);
+    stage2(a, b);
+    stage3(b, c);
+    long s = 0;
+    int i;
+    for (i = 0; i < N; i++) {
+        s = s * 31 + c[i];
+    }
+    print_str("adversarial-multiregion ");
+    print_long(s);
+    print_char('\n');
+    free(a);
+    free(b);
+    free(c);
+    return 0;
+}
+`
+
+// AdversarialStuck hides a cross-thread busy-wait behind an input
+// constant. Training input (WLIM=N): every iteration sets the flag
+// before waiting on it — write-then-read, thread-private, and the wait
+// never spins. Exposing input (WLIM=1): only iteration 0 sets the
+// flag. Sequential execution still terminates (iteration 0 runs
+// first), but after expansion each thread waits on its own copy, and
+// every thread except 0 spins forever on a zero-filled flag copy the
+// region will never write. No safe-point check can see this — the
+// region never reaches its safe point — which is exactly what the
+// region watchdog (RunOptions.RegionTimeout) exists for.
+//
+// NOT part of AdversarialAll: the exposing program hangs by design on
+// any multi-threaded run without a RegionTimeout, which generic
+// detection tests do not set.
+func AdversarialStuck() *Adversarial {
+	return &Adversarial{
+		Name: "adversarial-stuck",
+		Profile: func(s Scale) string {
+			n := stuckN(s)
+			return sprintf(stuckTemplate, n, n)
+		},
+		Expose: func(s Scale) string {
+			return sprintf(stuckTemplate, stuckN(s), 1)
+		},
+	}
+}
+
+func stuckN(s Scale) int { return pick(s, 64, 128, 1024) }
+
+// Template parameters: %[1]d = iterations, %[2]d = flag-write limit.
+const stuckTemplate = `
+int N = %[1]d;
+int WLIM = %[2]d;
+
+// flag[0] is the condition every iteration waits on. The spin body
+// touches only out[i] — per-iteration disjoint — because it never runs
+// on the training input, so its access sites are unprofiled and stay
+// unredirected; spinning on a shared scratch cell there would be a
+// genuine cross-thread race rather than a stuck-but-race-free region.
+long flag[1];
+
+void kernel(long *out) {
+    int i;
+    parallel for (i = 0; i < N; i++) {
+        if (i < WLIM) {
+            flag[0] = 1;
+        }
+        while (flag[0] == 0) {
+            out[i] = out[i] + 1;
+        }
+        out[i] = (long)i * 3 + flag[0];
+    }
+}
+
+int main() {
+    long *out = (long*)malloc(N * 8);
+    kernel(out);
+    long s = 0;
+    int i;
+    for (i = 0; i < N; i++) {
+        s = s * 31 + out[i];
+    }
+    print_str("adversarial-stuck ");
+    print_long(s);
+    print_char('\n');
+    free(out);
+    return 0;
+}
+`
