@@ -229,6 +229,14 @@ func pipelineCmd(args []string) error {
 		"with -recover: watchdog limit per parallel region (e.g. 500ms; 0 = unbounded)")
 	profileInput := fs.String("profile-input", "",
 		"alternate source file for the profiling runs (train/ref input split)")
+	traceOut := fs.String("trace", "",
+		"write a Chrome trace-event JSON of the expanded run (load in Perfetto)")
+	metricsOut := fs.String("metrics", "",
+		"write the run's metrics registry as text ('-' for stderr)")
+	hotspots := fs.Bool("hotspots", false,
+		"profile per-access hot sites and print the hottest to stderr (expensive)")
+	hotspotsOut := fs.String("hotspots-out", "",
+		"with -hotspots: also write the full profile as flamegraph folded stacks")
 	fs.Parse(args)
 	engine, err := engineFlag(*engineName)
 	if err != nil {
@@ -257,16 +265,28 @@ func pipelineCmd(args []string) error {
 	if *recoverRegions {
 		ropts.Recover = &gdsx.RecoverySpec{}
 	}
+	if *traceOut != "" || *metricsOut != "" || *hotspots {
+		ropts.Obs = gdsx.NewObserver(*hotspots)
+		// Per-iteration spans are what make the trace worth looking at
+		// in Perfetto; a diagnostic pipeline run accepts their cost.
+		ropts.Obs.IterSpans = *traceOut != ""
+	}
+	tr, err := gdsx.Transform(prog, topts)
+	if err != nil {
+		return err
+	}
+	var out gdsx.Result
+	// expanded is the compiled expanded program, which resolves the
+	// hot-site profile's access-site IDs to source positions.
+	var expanded *gdsx.Program
 	if *guarded {
-		tr, err := gdsx.Transform(prog, topts)
-		if err != nil {
-			return err
+		res, gerr := gdsx.GuardedRun(prog, tr, ropts)
+		if gerr != nil {
+			return gerr
 		}
-		res, err := gdsx.GuardedRun(prog, tr, ropts)
-		if err != nil {
-			return err
-		}
-		fmt.Print(res.Result.Output)
+		out = res.Result
+		expanded = res.Expanded
+		fmt.Print(out.Output)
 		switch {
 		case res.FellBack:
 			fmt.Fprintf(os.Stderr, "guard: dependence violation detected; "+
@@ -278,38 +298,99 @@ func pipelineCmd(args []string) error {
 		default:
 			fmt.Fprintf(os.Stderr, "guard: %d-thread run completed, no violations\n", *threads)
 		}
-		for _, r := range res.Regions {
-			fmt.Fprintf(os.Stderr,
-				"guard: region loop#%d: %d parallel, %d sequential, %d rollback(s)"+
-					" (%d violation(s), %d fault(s), %d timeout(s))",
-				r.Loop, r.ParallelRuns, r.SeqRuns, r.Rollbacks,
-				r.Violations, r.Faults, r.Timeouts)
-			if r.Demoted {
-				fmt.Fprint(os.Stderr, " [demoted]")
-			}
-			if r.LastFailure != "" {
-				fmt.Fprintf(os.Stderr, " last: %s", r.LastFailure)
-			}
-			fmt.Fprintln(os.Stderr)
+		// Region health and violation-rule summary, rendered through the
+		// metrics pipeline (one format for reports, -metrics and expvar).
+		if err := gdsx.RenderHealthReport(os.Stderr, res); err != nil {
+			return err
 		}
-		status := "MATCH"
-		if res.Result.Output != native.Output {
-			status = "MISMATCH"
+		// And into the run's own registry, so -metrics output includes it.
+		if ropts.Obs != nil && ropts.Obs.Metrics != nil {
+			gdsx.PublishRegionStats(ropts.Obs.Metrics, res.Regions)
+			gdsx.PublishGuardReports(ropts.Obs.Metrics, res.Violations)
 		}
-		fmt.Fprintf(os.Stderr, "native vs guarded %d-thread expanded: %s (%d structures expanded)\n",
-			*threads, status, tr.Reports[0].Structures)
-		return nil
+	} else {
+		expanded, err = gdsx.Compile(prog.File+" (expanded)", tr.Source)
+		if err != nil {
+			return err
+		}
+		out, err = expanded.Run(ropts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out.Output)
 	}
-	tr, out, err := gdsx.TransformAndRun(prog, topts, ropts)
-	if err != nil {
-		return err
-	}
-	fmt.Print(out.Output)
 	status := "MATCH"
 	if out.Output != native.Output {
 		status = "MISMATCH"
 	}
-	fmt.Fprintf(os.Stderr, "native vs %d-thread expanded: %s (%d structures expanded)\n",
-		*threads, status, tr.Reports[0].Structures)
+	kind := ""
+	if *guarded {
+		kind = "guarded "
+	}
+	fmt.Fprintf(os.Stderr, "native vs %s%d-thread expanded: %s (%d structures expanded)\n",
+		kind, *threads, status, tr.Reports[0].Structures)
+	return writeObsOutputs(ropts.Obs, expanded, *traceOut, *metricsOut, *hotspots, *hotspotsOut)
+}
+
+// writeObsOutputs emits the observability artifacts the pipeline flags
+// requested: the Chrome trace JSON, the metrics registry text, and the
+// hot-site profile (top table on stderr, folded stacks to a file).
+func writeObsOutputs(o *gdsx.Observer, expanded *gdsx.Program, traceOut, metricsOut string, hotspots bool, hotspotsOut string) error {
+	if o == nil {
+		return nil
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if n := o.Trace.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d events dropped (buffer full)\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
+			o.Trace.Len(), traceOut)
+	}
+	if metricsOut != "" {
+		w := os.Stderr
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Metrics.Render(w); err != nil {
+			return err
+		}
+	}
+	if hotspots && o.Hot != nil {
+		frames := func(site int) []string { return nil }
+		if expanded != nil {
+			frames = gdsx.HotSiteFrames(expanded)
+		}
+		fmt.Fprintln(os.Stderr, "hot sites (top 20, by access count):")
+		if err := gdsx.WriteHotSites(os.Stderr, o.Hot, 20, frames); err != nil {
+			return err
+		}
+		if hotspotsOut != "" {
+			f, err := os.Create(hotspotsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := o.Hot.Folded(f, frames); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "hotspots: folded stacks -> %s\n", hotspotsOut)
+		}
+	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
 //	gdsxbench -guard [-scale ...] [-o BENCH_guard.json]
 //	gdsxbench -recovery [-scale ...] [-o BENCH_recovery.json]
+//	gdsxbench -obs [-quick] [-scale ...] [-o BENCH_obs.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
@@ -19,13 +20,26 @@
 // inputs need log memory proportional to their operation count). The
 // -recovery mode compares region rollback-and-resume against the
 // whole-program fallback on the violating adversarial inputs, and
-// measures the region-snapshot overhead on violation-free runs.
+// measures the region-snapshot overhead on violation-free runs. The
+// -obs mode measures the observability layer's wall-clock overhead on
+// expanded parallel runs; -quick is the CI smoke variant (few
+// workloads, no hot-profiler configuration) that exits nonzero when
+// the geomean overhead exceeds 15%.
+//
+// With -http ADDR, any mode also serves expvar (including the live
+// gdsx metrics registry under the "gdsx" variable) and net/http/pprof
+// on ADDR for the duration of the run:
+//
+//	gdsxbench -http :8080 ...   # /debug/vars, /debug/pprof
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -46,7 +60,15 @@ func main() {
 	benchRecovery := flag.Bool("recovery", false,
 		"measure region rollback-and-resume vs whole-program fallback, plus"+
 			" no-violation snapshot overhead, and write JSON")
-	outFile := flag.String("o", "", "output file (default BENCH_engine.json, BENCH_guard.json or BENCH_recovery.json)")
+	benchObs := flag.Bool("obs", false,
+		"measure observability-layer overhead on expanded parallel runs and write JSON")
+	quick := flag.Bool("quick", false,
+		"with -obs: CI smoke variant — few workloads, no hot-profiler config,"+
+			" nonzero exit when geomean overhead exceeds 15%")
+	httpAddr := flag.String("http", "",
+		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
+			" during the run, e.g. :8080")
+	outFile := flag.String("o", "", "output file (default BENCH_engine.json, BENCH_guard.json, BENCH_recovery.json or BENCH_obs.json)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -67,10 +89,43 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Engine = engine
+	if *httpAddr != "" {
+		// A metrics-only observer: every harness run publishes into one
+		// registry, served live at /debug/vars; an event tracer here
+		// would only accumulate memory across a long bench run.
+		o := &gdsx.Observer{Metrics: gdsx.NewRegistry()}
+		cfg.Obs = o
+		expvar.Publish("gdsx", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gdsxbench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "gdsxbench: serving expvar and pprof on %s"+
+			" (/debug/vars, /debug/pprof)\n", *httpAddr)
+	}
 	fmt.Fprintf(os.Stderr, "gdsxbench: engine=%s scale=%s %s %s/%s\n",
 		engine, *scale, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 	h := bench.New(cfg)
 	start := time.Now()
+
+	if *benchObs {
+		rep, err := h.ObsOverhead(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if !*quick || *outFile != "" {
+			writeJSON(rep, *outFile, "BENCH_obs.json", "observability overhead", start)
+		}
+		if *quick && rep.GeomeanOverhead > 0.15 {
+			fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: geomean observability overhead"+
+				" %.1f%% exceeds the 15%% smoke budget\n", rep.GeomeanOverhead*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchEngines {
 		rep, err := h.EngineComparison()

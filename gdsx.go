@@ -20,6 +20,7 @@ import (
 	"gdsx/internal/ast"
 	"gdsx/internal/ddg"
 	"gdsx/internal/interp"
+	"gdsx/internal/obs"
 	"gdsx/internal/parser"
 	"gdsx/internal/profile"
 	"gdsx/internal/sema"
@@ -106,6 +107,36 @@ type RunOptions struct {
 	// (0 = unbounded). With Recover set, a stuck region is rolled back
 	// and re-executed sequentially; without it the run fails.
 	RegionTimeout time.Duration
+	// Obs attaches the runtime observability layer (package obs): an
+	// event tracer with a Chrome trace-event exporter, a metrics
+	// registry, and an optional per-access hot-site profiler. Nil
+	// disables observability at zero cost. See NewObserver for the
+	// common configuration.
+	Obs *Observer
+}
+
+// Observer re-exports the observability bundle; see package obs for
+// the component types.
+type Observer = obs.Observer
+
+// NewObserver builds the standard observability configuration: an
+// event tracer and a metrics registry, whose cost is per-region and
+// per-run rather than per-iteration — cheap enough to leave on. Two
+// heavier tiers are opt-in: setting IterSpans on the returned observer
+// adds a timed trace span per loop iteration (two clock reads per
+// iteration — visible on tight loops), and hot attaches the per-access
+// hot-site profiler, which forces every sited memory access through
+// the interpreter's hook path. See BENCH_obs.json for the measured
+// overhead of each tier.
+func NewObserver(hot bool) *Observer {
+	o := &Observer{
+		Trace:   obs.NewTracer(0),
+		Metrics: obs.NewRegistry(),
+	}
+	if hot {
+		o.Hot = obs.NewHotSites()
+	}
+	return o
 }
 
 // RecoverySpec re-exports the interpreter's recovery configuration.
@@ -147,6 +178,7 @@ func (o RunOptions) interpOptions() interp.Options {
 		Engine:          o.Engine,
 		Recover:         o.Recover,
 		RegionTimeout:   o.RegionTimeout,
+		Obs:             o.Obs,
 	}
 }
 

@@ -35,6 +35,11 @@ type GuardedResult struct {
 	// Regions holds the per-region recovery health records (rollbacks,
 	// demotions, snapshot cost) when the run used RunOptions.Recover.
 	Regions []RegionStats
+	// Expanded is the compiled expanded program the guarded run
+	// executed. Hot-site profiles attribute cost to the expanded
+	// program's access sites; resolve them against Expanded.Info (e.g.
+	// via HotSiteFrames).
+	Expanded *Program
 }
 
 // GuardedRun executes a transformed program under the guarded-execution
@@ -77,7 +82,7 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 	if err != nil {
 		return nil, fmt.Errorf("gdsx: compiling transformed program: %w", err)
 	}
-	mon := guard.New(guard.Config{Threads: threads, Info: exp.Info})
+	mon := guard.New(guard.Config{Threads: threads, Info: exp.Info, Obs: opts.Obs})
 	gopts := opts
 	gopts.Hooks = interp.ChainHooks(mon.Hooks(), opts.Hooks)
 	out, err := exp.Run(gopts)
@@ -86,6 +91,7 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 			Result:     out,
 			Violations: mon.Reports(),
 			Regions:    out.Regions,
+			Expanded:   exp,
 		}
 		if len(res.Violations) > 0 {
 			res.Violation = res.Violations[0]
@@ -119,5 +125,6 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 		Violation:  ve.Report,
 		Violations: mon.Reports(),
 		FellBack:   true,
+		Expanded:   exp,
 	}, nil
 }

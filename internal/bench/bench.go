@@ -34,6 +34,12 @@ type Config struct {
 	// value is the closure-compiling engine). The simulated operation
 	// counts are engine-independent; only host wall-clock changes.
 	Engine gdsx.Engine
+	// Obs, when set, attaches an observer to every harness run — the
+	// gdsxbench -http endpoint uses a metrics-only observer here so
+	// expvar serves live counters while experiments execute. The
+	// wall-clock benchmark modes (EngineComparison, ObsOverhead) manage
+	// their own observers and ignore this field.
+	Obs *gdsx.Observer
 }
 
 // DefaultConfig measures at bench scale on 1,2,4,8 simulated cores.
@@ -93,6 +99,7 @@ func New(cfg Config) *Harness {
 func (h *Harness) run(opts gdsx.RunOptions) gdsx.RunOptions {
 	opts.MemSize = h.cfg.MemSize
 	opts.Engine = h.cfg.Engine
+	opts.Obs = h.cfg.Obs
 	return opts
 }
 

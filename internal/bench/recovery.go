@@ -43,9 +43,9 @@ type RecoveryRow struct {
 // standard workload: both runs are guarded; the recovery run
 // additionally write-logs every parallel region.
 type RecoveryOverheadRow struct {
-	Workload string `json:"workload"`
-	BaseNS   int64  `json:"base_ns"`   // guarded, no snapshots
-	SnapNS   int64  `json:"snap_ns"`   // guarded + region snapshots
+	Workload string  `json:"workload"`
+	BaseNS   int64   `json:"base_ns"`  // guarded, no snapshots
+	SnapNS   int64   `json:"snap_ns"`  // guarded + region snapshots
 	Overhead float64 `json:"overhead"` // SnapNS / BaseNS
 	// SnapshotPages/Bytes total the write log across all committed
 	// regions — the memory the no-violation path paid for insurance.

@@ -44,6 +44,7 @@ import (
 
 	"gdsx/internal/ddg"
 	"gdsx/internal/interp"
+	"gdsx/internal/obs"
 	"gdsx/internal/sema"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// MaxViolations caps the number of distinct violations kept in the
 	// report (the total count is always exact). Default 16.
 	MaxViolations int
+
+	// Obs optionally receives the monitor's observability feed: a
+	// guard-verdict trace event per safe-point replay, per-thread
+	// log-size histograms, and replay/violation counters. Nil disables
+	// the feed.
+	Obs *obs.Observer
 }
 
 // note records the copy geometry of one expanded structure:
@@ -205,10 +212,43 @@ func (m *Monitor) parallelEnd(loopID int) {
 	logs := m.logs
 	m.logs = nil
 	rep := m.replay(logs)
+	m.emitVerdict(loopID, logs, rep)
 	if rep != nil {
 		m.reports = append(m.reports, rep)
 		panic(interp.Abort{Err: &ViolationError{Report: rep}})
 	}
+}
+
+// emitVerdict publishes the outcome of one safe-point replay: a
+// guard-verdict trace event (labelled "clean" or with the first
+// violation's rule) plus replay/log-size/violation metrics. It runs
+// before the violation panic, so an aborted region's verdict is still
+// recorded.
+func (m *Monitor) emitVerdict(loopID int, logs [][]interp.Access, rep *Report) {
+	o := m.cfg.Obs
+	if o == nil {
+		return
+	}
+	var logged int64
+	hLog := o.Histogram("guard.log_size")
+	for _, l := range logs {
+		logged += int64(len(l))
+		hLog.Observe(int64(len(l)))
+	}
+	o.Counter("guard.replays").Inc()
+	o.Counter("guard.events_logged").Add(logged)
+	label := "clean"
+	var total int64
+	if rep != nil {
+		total = int64(rep.Total)
+		o.Counter("guard.violations").Add(total)
+		o.Counter("guard.violating_regions").Inc()
+		if len(rep.Violations) > 0 {
+			label = rep.Violations[0].Rule
+		}
+	}
+	o.Emit(obs.Event{Name: "guard-verdict", Ph: 'i', Loop: loopID, Iter: -1,
+		Label: label, V1: logged, V2: total})
 }
 
 // parallelCancel discards a cancelled region's logs without the
@@ -221,6 +261,11 @@ func (m *Monitor) parallelCancel(loopID int) {
 	}
 	m.active = false
 	m.logs = nil
+	if o := m.cfg.Obs; o != nil {
+		o.Counter("guard.discarded_regions").Inc()
+		o.Emit(obs.Event{Name: "guard-verdict", Ph: 'i', Loop: loopID, Iter: -1,
+			Label: "discarded"})
+	}
 }
 
 // canonical maps a concrete address to its de-expanded (canonical)

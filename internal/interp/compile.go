@@ -266,12 +266,14 @@ func (c *compiler) storerFor(ty *ctypes.Type) func(t *thread, addr int64, v valu
 
 // loadAcc compiles loadAccess for a fixed site and type: cache-model
 // touch, profiling/redirection hooks, the null/bounds check, then the
-// typed load. The hook branch disappears entirely when the machine has
-// no hooks.
+// typed load. The hook branch disappears entirely when the machine's
+// hook chain carries no per-access hooks (region-level layers like the
+// observability adapter compile to the same closures as no hooks at
+// all).
 func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64) value {
 	ld := c.loaderFor(ty)
 	size := accSize(ty)
-	if c.hooks == nil {
+	if !c.hooks.HasAccessHooks() {
 		return func(t *thread, addr int64) value {
 			t.touchCache(addr)
 			t.checkAccess(pos, addr, size)
@@ -302,7 +304,7 @@ func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thr
 func (c *compiler) storeAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64, v value) {
 	st := c.storerFor(ty)
 	size := accSize(ty)
-	if c.hooks == nil {
+	if !c.hooks.HasAccessHooks() {
 		return func(t *thread, addr int64, v value) {
 			t.touchCache(addr)
 			t.checkAccess(pos, addr, size)

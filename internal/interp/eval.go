@@ -135,11 +135,12 @@ func (t *thread) touchCache(addr int64) {
 }
 
 // loadAccess performs the load belonging to access site, applying the
-// profiling and redirection hooks.
+// profiling and redirection hooks (accessHooks is nil when the chain
+// carries none, keeping purely region-level layers off this path).
 func (t *thread) loadAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type) value {
 	t.touchCache(addr)
 	size := ty.Size()
-	if h := t.m.opts.Hooks; h != nil {
+	if h := t.m.accessHooks; h != nil {
 		if h.Redirect != nil {
 			var cost int64
 			addr, cost = h.Redirect(site, addr, size, t.tid)
@@ -163,7 +164,7 @@ func (t *thread) loadAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type
 func (t *thread) storeAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type, v value) {
 	t.touchCache(addr)
 	size := ty.Size()
-	if h := t.m.opts.Hooks; h != nil {
+	if h := t.m.accessHooks; h != nil {
 		if h.Redirect != nil {
 			var cost int64
 			addr, cost = h.Redirect(site, addr, size, t.tid)

@@ -7,9 +7,33 @@ package interp
 // costs add. GuardedRun uses this to run the guard monitor's hooks
 // ahead of caller-supplied ones.
 //
-// Caveat: an aborted region may cut the chain short. When a's
+// Chaining three or more layers: ChainHooks is associative, so
+// ChainHooks(a, ChainHooks(b, c)) and ChainHooks(ChainHooks(a, b), c)
+// both invoke every hook in the order a, b, c — left argument first,
+// all the way down. The full stack of a guarded, observed run with
+// user hooks is ChainHooks(obs, ChainHooks(monitor, user)): the
+// observability adapter runs first (Machine.New prepends it), then the
+// guard monitor (GuardedRun prepends it to the caller's hooks), then
+// the user's. Layers that must see an event before a later layer can
+// abort the region rely on this order — see the caveat below.
+//
+// Caveat: an aborted region may cut the chain short. When a layer's
 // ParallelEnd panics (the guard monitor raising a violation at the
-// safe point), b's ParallelEnd never runs for that region.
+// safe point), every later layer's ParallelEnd never runs for that
+// region. This is why the observability adapter is chained ahead of
+// the monitor: its region-end event is recorded before a violation
+// panic unwinds.
+// HasAccessHooks reports whether the set carries a per-access hook —
+// Redirect, Load, Store or Observe — i.e. whether attaching it forces
+// every sited memory access through the engines' slow path. Hook sets
+// with only region- and loop-level interest (the observability
+// adapter's standard tier) leave loads and stores on the fast path.
+// Safe on nil.
+func (h *Hooks) HasAccessHooks() bool {
+	return h != nil &&
+		(h.Redirect != nil || h.Load != nil || h.Store != nil || h.Observe != nil)
+}
+
 func ChainHooks(a, b *Hooks) *Hooks {
 	if a == nil {
 		return b
@@ -120,6 +144,28 @@ func ChainHooks(a, b *Hooks) *Hooks {
 			}
 			if bf != nil {
 				bf(loopID)
+			}
+		}
+	}
+	if a.IterStart != nil || b.IterStart != nil {
+		af, bf := a.IterStart, b.IterStart
+		c.IterStart = func(loopID int, iter int64, tid int) {
+			if af != nil {
+				af(loopID, iter, tid)
+			}
+			if bf != nil {
+				bf(loopID, iter, tid)
+			}
+		}
+	}
+	if a.IterEnd != nil || b.IterEnd != nil {
+		af, bf := a.IterEnd, b.IterEnd
+		c.IterEnd = func(loopID int, iter int64, tid int) {
+			if af != nil {
+				af(loopID, iter, tid)
+			}
+			if bf != nil {
+				bf(loopID, iter, tid)
 			}
 		}
 	}

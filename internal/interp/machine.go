@@ -14,6 +14,7 @@ import (
 
 	"gdsx/internal/ast"
 	"gdsx/internal/mem"
+	"gdsx/internal/obs"
 	"gdsx/internal/sema"
 	"gdsx/internal/token"
 )
@@ -53,6 +54,13 @@ type Hooks struct {
 	// ParallelStart/ParallelEnd bracket a parallel loop execution.
 	ParallelStart func(loopID, nthreads int)
 	ParallelEnd   func(loopID int)
+	// IterStart/IterEnd bracket one parallel-loop iteration on the
+	// worker thread executing it (the observability layer's span feed).
+	// Unlike LoopIter they fire on every simulated thread, and only
+	// inside the parallel-loop machinery — sequential loops do not emit
+	// them.
+	IterStart func(loopID int, iter int64, tid int)
+	IterEnd   func(loopID int, iter int64, tid int)
 	// ParallelCancel replaces ParallelEnd for a region abandoned
 	// mid-flight (watchdog timeout): per-thread observations are
 	// partial, so observers should discard them instead of running
@@ -134,6 +142,12 @@ type Options struct {
 	// Recover set the region is rolled back and re-executed
 	// sequentially, without it the run fails with a runtime error.
 	RegionTimeout time.Duration
+	// Obs attaches the runtime observability layer: its tracer and
+	// metrics registry receive region/iteration/guard/recovery/allocator
+	// events through the hook layer plus direct feeds from the allocator
+	// and the recovery controller. Nil disables observability at zero
+	// cost (every producer is behind a nil check).
+	Obs *obs.Observer
 }
 
 func (o *Options) fill() {
@@ -190,6 +204,13 @@ type Machine struct {
 	// machine runs with Options.Recover.
 	recovery *recoveryState
 
+	// accessHooks is opts.Hooks when the chain carries a per-access
+	// hook (Redirect/Load/Store/Observe), else nil. The access paths of
+	// both engines branch on this instead of opts.Hooks so that hook
+	// layers with only region-level interest (the observer's standard
+	// tier) leave every load and store on the fast path.
+	accessHooks *Hooks
+
 	// code holds the closure-compiled function bodies when the machine
 	// runs with EngineCompiled; nil under EngineTree.
 	code *compiledProg
@@ -205,6 +226,14 @@ func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 		mem:     mem.New(opts.MemSize),
 		strings: map[string]int64{},
 	}
+	if opts.Obs != nil {
+		// The observer's hooks run ahead of any caller-supplied chain
+		// (monitor + user): the guard monitor's ParallelEnd panics on a
+		// violation, and chaining obs first means the region-end event
+		// is recorded before that panic cuts the chain.
+		m.opts.Hooks = ChainHooks(obsHooks(opts.Obs, opts.NumThreads), opts.Hooks)
+		m.mem.SetObs(opts.Obs)
+	}
 	if opts.MemLimit > 0 {
 		m.mem.SetLimit(opts.MemLimit)
 	}
@@ -212,7 +241,10 @@ func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 		m.mem.SetFailAlloc(opts.FailAlloc)
 	}
 	if opts.Recover != nil {
-		m.recovery = newRecoveryState(*opts.Recover)
+		m.recovery = newRecoveryState(*opts.Recover, opts.Obs)
+	}
+	if m.opts.Hooks.HasAccessHooks() {
+		m.accessHooks = m.opts.Hooks
 	}
 	if opts.Engine == EngineCompiled {
 		m.code = compileProgram(m)
@@ -304,7 +336,28 @@ func (m *Machine) Run() (res Result, err error) {
 	if m.recovery != nil {
 		res.Regions = m.recovery.snapshot()
 	}
+	m.publishObs(res)
 	return res, nil
+}
+
+// publishObs records the run's final whole-run aggregates in the
+// metrics registry: the instruction-category counters, the memory-op
+// count, and the allocator's high-water marks (the incremental
+// allocator feed tracks live bytes; the final gauges make the totals
+// available even for programs that never free).
+func (m *Machine) publishObs(res Result) {
+	o := m.opts.Obs
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	for i := 0; i < NumCats; i++ {
+		o.Counter("interp.ops." + CatNames[i]).Add(res.Counters[i])
+	}
+	o.Counter("interp.mem_ops").Add(res.MemOps)
+	o.Gauge("mem.live").Set(res.MemStats.Live)
+	o.Gauge("mem.high_water").Set(res.MemStats.HighWater)
+	o.Gauge("mem.high_water_data").Set(res.MemStats.HighWaterData)
+	o.Gauge("mem.blocks").Set(int64(res.MemStats.Blocks))
 }
 
 // RegionStats returns the per-region recovery health records (sorted

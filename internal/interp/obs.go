@@ -1,0 +1,117 @@
+package interp
+
+import (
+	"gdsx/internal/obs"
+)
+
+// obsAdapter feeds the observability layer from the interpreter's hook
+// layer. One adapter serves one machine; its region state (the
+// per-thread iteration-span buffers) is created at ParallelStart on
+// the spawning thread, written by each worker in its own slot, and
+// flushed at ParallelEnd/Cancel after every worker has joined, so no
+// synchronization beyond the region's own happens-before edges is
+// needed.
+type obsAdapter struct {
+	o   *obs.Observer
+	geo *obs.Geometry // nil unless the hot-site profiler is enabled
+
+	cRegions *obs.Counter
+	cExpands *obs.Counter
+	hIters   *obs.Histogram // iterations observed per region
+
+	// Per-region iteration-span state (IterSpans only).
+	spans  [][]obs.Event // per-tid buffered spans
+	starts []int64       // per-tid start timestamp of the current iteration
+}
+
+// obsHooks builds the hook set feeding o. Only the hooks a component
+// needs are registered: in particular Observe — which switches every
+// sited memory access onto the interpreter's slow hook path — is
+// registered only when the hot-site profiler is enabled, so the cheap
+// trace/metrics configuration never pays per-access cost.
+func obsHooks(o *obs.Observer, nthreads int) *Hooks {
+	a := &obsAdapter{
+		o:        o,
+		cRegions: o.Counter("interp.regions.parallel"),
+		cExpands: o.Counter("interp.expansions"),
+		hIters:   o.Histogram("interp.region_iters"),
+	}
+	if o.Hot != nil {
+		a.geo = obs.NewGeometry(nthreads)
+	}
+	h := &Hooks{
+		ParallelStart:  a.parallelStart,
+		ParallelEnd:    a.parallelEnd,
+		ParallelCancel: a.parallelCancel,
+		Expand:         a.expand,
+	}
+	if o.Trace != nil && o.IterSpans {
+		h.IterStart = a.iterStart
+		h.IterEnd = a.iterEnd
+	}
+	if o.Hot != nil {
+		h.Observe = a.observe
+	}
+	return h
+}
+
+func (a *obsAdapter) parallelStart(loopID, nthreads int) {
+	a.cRegions.Inc()
+	a.o.Emit(obs.Event{Name: "region", Ph: 'B', Loop: loopID, Iter: -1, V1: int64(nthreads)})
+	if a.o.Trace != nil && a.o.IterSpans {
+		a.spans = make([][]obs.Event, nthreads)
+		a.starts = make([]int64, nthreads)
+	}
+}
+
+func (a *obsAdapter) iterStart(loopID int, iter int64, tid int) {
+	a.starts[tid] = a.o.Trace.Now()
+}
+
+func (a *obsAdapter) iterEnd(loopID int, iter int64, tid int) {
+	start := a.starts[tid]
+	a.spans[tid] = append(a.spans[tid], obs.Event{
+		Name: "iter", Ph: 'X', TS: start, Dur: a.o.Trace.Now() - start,
+		Tid: tid, Loop: loopID, Iter: iter,
+	})
+}
+
+// finishRegion flushes the buffered spans and emits the region-end
+// event; label distinguishes a completed region from a cancelled one.
+func (a *obsAdapter) finishRegion(loopID int, label string) {
+	if a.spans != nil {
+		var n int64
+		for tid, evs := range a.spans {
+			n += int64(len(evs))
+			a.o.Trace.EmitBatch(evs)
+			a.spans[tid] = nil
+		}
+		a.hIters.Observe(n)
+	}
+	a.o.Emit(obs.Event{Name: "region", Ph: 'E', Loop: loopID, Iter: -1, Label: label})
+}
+
+func (a *obsAdapter) parallelEnd(loopID int)    { a.finishRegion(loopID, "") }
+func (a *obsAdapter) parallelCancel(loopID int) { a.finishRegion(loopID, "cancelled") }
+
+func (a *obsAdapter) expand(base, span, esz int64) {
+	a.cExpands.Inc()
+	if a.geo != nil {
+		a.geo.Note(base, span, esz)
+	}
+	label := "bonded"
+	if esz > 0 {
+		label = "interleaved"
+	}
+	a.o.Emit(obs.Event{Name: "expand", Ph: 'i', Iter: -1, Label: label, V1: base, V2: span})
+}
+
+// observe feeds the hot-site profiler: each sited access is charged to
+// its (site, expanded-copy) bucket. Definition events are synthetic
+// (fresh-storage markers, not program accesses) and are skipped.
+func (a *obsAdapter) observe(ev Access) {
+	if ev.Def {
+		return
+	}
+	a.o.Hot.Record(ev.Tid, ev.Site, a.geo.Copy(ev.Addr), ev.Store, ev.Size)
+}

@@ -356,6 +356,10 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 	if int64(w.tid) < rem {
 		hi++
 	}
+	var iterStart, iterEnd func(loopID int, iter int64, tid int)
+	if h := w.m.opts.Hooks; h != nil {
+		iterStart, iterEnd = h.IterStart, h.IterEnd
+	}
 	w.counters[CatSync]++ // one dispatch per chunk
 	for k := lo; k < hi; k++ {
 		if w.cancel != nil && w.cancel.Load() {
@@ -363,7 +367,13 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 		}
 		w.curIter = k
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
+		if iterStart != nil {
+			iterStart(x.ID, k, w.tid)
+		}
 		c := body(w, f)
+		if iterEnd != nil {
+			iterEnd(x.ID, k, w.tid)
+		}
 		if c == ctrlBreak {
 			rterrf(x.Pos(), "break out of a parallel loop")
 		}
@@ -379,6 +389,10 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, order *orderState, body bodyFn) {
 	w.order = order
 	defer func() { w.order = nil }()
+	var iterStart, iterEnd func(loopID int, iter int64, tid int)
+	if h := w.m.opts.Hooks; h != nil {
+		iterStart, iterEnd = h.IterStart, h.IterEnd
+	}
 	for {
 		k := next.Add(1) - 1
 		if k >= lb.n {
@@ -392,7 +406,13 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 		w.posted = false
 		w.inOrdered = false
 		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
+		if iterStart != nil {
+			iterStart(x.ID, k, w.tid)
+		}
 		c := body(w, f)
+		if iterEnd != nil {
+			iterEnd(x.ID, k, w.tid)
+		}
 		if c == ctrlBreak || c == ctrlReturn {
 			rterrf(x.Pos(), "break/return out of a parallel loop")
 		}

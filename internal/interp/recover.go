@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gdsx/internal/mem"
+	"gdsx/internal/obs"
 )
 
 // Region-scoped recovery: with Options.Recover set, every parallel
@@ -113,12 +114,13 @@ type regionHealth struct {
 // controller safe if that ever changes; it is taken once per region.
 type recoveryState struct {
 	spec    RecoverySpec
+	o       *obs.Observer // nil when the run is unobserved
 	mu      sync.Mutex
 	regions map[int]*regionHealth
 }
 
-func newRecoveryState(spec RecoverySpec) *recoveryState {
-	return &recoveryState{spec: spec, regions: map[int]*regionHealth{}}
+func newRecoveryState(spec RecoverySpec, o *obs.Observer) *recoveryState {
+	return &recoveryState{spec: spec, o: o, regions: map[int]*regionHealth{}}
 }
 
 func (rc *recoveryState) health(loop int) *regionHealth {
@@ -145,10 +147,13 @@ func (rc *recoveryState) admit(loop int) bool {
 		h.stats.Demoted = false
 		h.stats.Repromotions++
 		h.strikes = rc.spec.maxStrikes() - 1
+		rc.o.Counter("recover.repromotions").Inc()
+		rc.o.Emit(obs.Event{Name: "repromote", Ph: 'i', Loop: loop, Iter: -1})
 		return true
 	}
 	h.cooldown--
 	h.stats.SeqRuns++
+	rc.o.Counter("recover.seq_runs").Inc()
 	return false
 }
 
@@ -159,6 +164,11 @@ func (rc *recoveryState) noteSuccess(loop int, pages int, bytes int64) {
 	h.stats.ParallelRuns++
 	h.stats.SnapshotPages += pages
 	h.stats.SnapshotBytes += bytes
+	rc.o.Counter("recover.commits").Inc()
+	rc.o.Counter("recover.snapshot_pages").Add(int64(pages))
+	rc.o.Counter("recover.snapshot_bytes").Add(bytes)
+	rc.o.Emit(obs.Event{Name: "checkpoint-commit", Ph: 'i', Loop: loop, Iter: -1,
+		V1: int64(pages), V2: bytes})
 }
 
 func (rc *recoveryState) noteFailure(loop int, fail *regionFault, pages int, bytes int64) {
@@ -168,10 +178,13 @@ func (rc *recoveryState) noteFailure(loop int, fail *regionFault, pages int, byt
 	switch fail.kind {
 	case FailViolation:
 		h.stats.Violations++
+		rc.o.Counter("recover.rollbacks.violation").Inc()
 	case FailFault:
 		h.stats.Faults++
+		rc.o.Counter("recover.rollbacks.fault").Inc()
 	case FailTimeout:
 		h.stats.Timeouts++
+		rc.o.Counter("recover.rollbacks.timeout").Inc()
 	}
 	h.stats.Rollbacks++
 	h.stats.RollbackPages += pages
@@ -180,10 +193,19 @@ func (rc *recoveryState) noteFailure(loop int, fail *regionFault, pages int, byt
 	if fail.err != nil {
 		h.stats.LastFailure = fail.err.Error()
 	}
+	rc.o.Counter("recover.rollbacks").Inc()
+	rc.o.Counter("recover.rollback_pages").Add(int64(pages))
+	rc.o.Counter("recover.rollback_bytes").Add(bytes)
+	rc.o.Counter("recover.seq_runs").Inc()
+	rc.o.Emit(obs.Event{Name: "rollback", Ph: 'i', Loop: loop, Iter: -1,
+		Label: fail.kind.String(), V1: int64(pages), V2: bytes})
 	h.strikes++
 	if h.strikes >= rc.spec.maxStrikes() {
 		h.stats.Demoted = true
 		h.cooldown = rc.spec.Cooldown
+		rc.o.Counter("recover.demotions").Inc()
+		rc.o.Emit(obs.Event{Name: "demote", Ph: 'i', Loop: loop, Iter: -1,
+			V1: int64(h.strikes)})
 	}
 }
 

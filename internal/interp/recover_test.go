@@ -6,7 +6,7 @@ import (
 )
 
 func TestRecoveryAdmitDemoteCooldown(t *testing.T) {
-	rc := newRecoveryState(RecoverySpec{MaxStrikes: 2, Cooldown: 3})
+	rc := newRecoveryState(RecoverySpec{MaxStrikes: 2, Cooldown: 3}, nil)
 	fail := &regionFault{kind: FailViolation, err: errors.New("boom")}
 
 	if !rc.admit(7) {
@@ -53,7 +53,7 @@ func TestRecoveryAdmitDemoteCooldown(t *testing.T) {
 }
 
 func TestRecoveryDemotedForeverWithoutCooldown(t *testing.T) {
-	rc := newRecoveryState(RecoverySpec{MaxStrikes: 1})
+	rc := newRecoveryState(RecoverySpec{MaxStrikes: 1}, nil)
 	rc.noteFailure(3, &regionFault{kind: FailTimeout}, 0, 0)
 	for i := 0; i < 10; i++ {
 		if rc.admit(3) {
@@ -67,7 +67,7 @@ func TestRecoveryDemotedForeverWithoutCooldown(t *testing.T) {
 }
 
 func TestRecoveryStrikesAccumulateAcrossSuccesses(t *testing.T) {
-	rc := newRecoveryState(RecoverySpec{}) // defaults: MaxStrikes 2
+	rc := newRecoveryState(RecoverySpec{}, nil) // defaults: MaxStrikes 2
 	fail := &regionFault{kind: FailFault, err: errors.New("oom")}
 	rc.noteFailure(1, fail, 0, 0)
 	for i := 0; i < 5; i++ {
@@ -84,7 +84,7 @@ func TestRecoveryStrikesAccumulateAcrossSuccesses(t *testing.T) {
 }
 
 func TestRecoverySnapshotSortedByLoop(t *testing.T) {
-	rc := newRecoveryState(RecoverySpec{})
+	rc := newRecoveryState(RecoverySpec{}, nil)
 	rc.noteSuccess(9, 0, 0)
 	rc.noteSuccess(2, 0, 0)
 	rc.noteSuccess(5, 0, 0)

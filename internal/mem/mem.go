@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"gdsx/internal/obs"
 )
 
 // NullGuard is the number of reserved bytes at address 0 so that the
@@ -81,6 +83,50 @@ type Memory struct {
 	// happen-before/after all worker goroutines, so the plain reads in
 	// the store paths are race-free.
 	snap *snapState
+
+	// obs is the allocator's observability feed, nil when disabled (set
+	// once before execution starts, so the plain reads are race-free).
+	obs *memObs
+}
+
+// memObs caches the allocator's observability instruments so the
+// alloc/free paths update them without registry lookups.
+type memObs struct {
+	o        *obs.Observer
+	cAllocs  *obs.Counter
+	cFrees   *obs.Counter
+	cOOMs    *obs.Counter
+	gLive    *obs.Gauge // tracked max gives the high-water mark
+	hAllocSz *obs.Histogram
+}
+
+// SetObs attaches the observability layer: allocation/free/OOM
+// counters, an allocation-size histogram and a live-byte gauge are
+// updated on every allocator operation, and with Observer.AllocEvents
+// set each operation also emits an instant trace event. Call before
+// execution starts.
+func (m *Memory) SetObs(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	m.obs = &memObs{
+		o:        o,
+		cAllocs:  o.Counter("mem.allocs"),
+		cFrees:   o.Counter("mem.frees"),
+		cOOMs:    o.Counter("mem.oom"),
+		gLive:    o.Gauge("mem.live"),
+		hAllocSz: o.Histogram("mem.alloc_size"),
+	}
+}
+
+// noteAlloc records a successful allocation; called with m.mu held.
+func (ob *memObs) noteAlloc(base, size int64, live int64, label string) {
+	ob.cAllocs.Inc()
+	ob.hAllocSz.Observe(size)
+	ob.gLive.Set(live)
+	if ob.o.AllocEvents {
+		ob.o.Emit(obs.Event{Name: "alloc", Ph: 'i', Iter: -1, Label: label, V1: base, V2: size})
+	}
 }
 
 // New creates a memory of the given capacity in bytes.
@@ -142,10 +188,12 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 	if m.failAt > 0 {
 		m.failAt--
 		if m.failAt == 0 {
+			m.noteOOM(size, "fault-injection")
 			return 0, fmt.Errorf("mem: out of memory allocating %d bytes (fault injection)", size)
 		}
 	}
 	if m.limit > 0 && m.liveBytes+size > m.limit {
+		m.noteOOM(size, "limit")
 		return 0, fmt.Errorf("mem: out of memory allocating %d bytes (limit %d, live %d)",
 			size, m.limit, m.liveBytes)
 	}
@@ -199,10 +247,26 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 			s.touch(m.data, base, size)
 		}
 		clear(m.data[base : base+size])
+		if ob := m.obs; ob != nil {
+			ob.noteAlloc(base, size, m.liveBytes, label)
+		}
 		return base, nil
 	}
+	m.noteOOM(size, "capacity")
 	return 0, fmt.Errorf("mem: out of memory allocating %d bytes (capacity %d, live %d)",
 		size, len(m.data), m.liveBytes)
+}
+
+// noteOOM records a failed allocation; called with m.mu held.
+func (m *Memory) noteOOM(size int64, label string) {
+	ob := m.obs
+	if ob == nil {
+		return
+	}
+	ob.cOOMs.Inc()
+	if ob.o.AllocEvents {
+		ob.o.Emit(obs.Event{Name: "oom", Ph: 'i', Iter: -1, Label: label, V2: size})
+	}
 }
 
 // Free releases the block with the given base address. Freeing address
@@ -224,6 +288,13 @@ func (m *Memory) Free(base int64) error {
 		m.liveData -= b.Size
 	}
 	m.insertFree(Block{Base: b.Base, Size: b.Size})
+	if ob := m.obs; ob != nil {
+		ob.cFrees.Inc()
+		ob.gLive.Set(m.liveBytes)
+		if ob.o.AllocEvents {
+			ob.o.Emit(obs.Event{Name: "free", Ph: 'i', Iter: -1, V1: base})
+		}
+	}
 	return nil
 }
 

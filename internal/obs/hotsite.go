@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Geometry tracks the layout of expanded structures — the
+// __expand_malloc/__expand_note markers the guarded expansion pass
+// emits, delivered through the interpreter's Expand hook — and maps a
+// concrete address to the expanded-copy index that owns it. The copy
+// math mirrors the guard monitor's canonicalization: interleaved
+// layout places element i of copy t at base + (i*nt + t)*esz; bonded
+// layout gives copy t the contiguous span [base + t*span,
+// base + (t+1)*span).
+type Geometry struct {
+	mu    sync.Mutex
+	nt    int
+	notes []geoNote // sorted by base
+}
+
+type geoNote struct {
+	base, span, esz int64
+}
+
+// NewGeometry creates a geometry for a run at nthreads threads.
+func NewGeometry(nthreads int) *Geometry {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	return &Geometry{nt: nthreads}
+}
+
+// Note records one expanded structure. Notes whose range the new one
+// overlaps are dropped first (address reuse after a free), keeping a
+// note that covers the new range exactly — re-noting the same
+// structure is idempotent.
+func (g *Geometry) Note(base, span, esz int64) {
+	if g == nil || span <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	end := base + span*int64(g.nt)
+	kept := g.notes[:0]
+	for _, n := range g.notes {
+		nEnd := n.base + n.span*int64(g.nt)
+		if base < nEnd && end > n.base {
+			continue
+		}
+		kept = append(kept, n)
+	}
+	g.notes = kept
+	i := sort.Search(len(g.notes), func(i int) bool { return g.notes[i].base >= base })
+	g.notes = append(g.notes, geoNote{})
+	copy(g.notes[i+1:], g.notes[i:])
+	g.notes[i] = geoNote{base: base, span: span, esz: esz}
+}
+
+// Copy maps an address to the index of the expanded copy containing
+// it, or -1 when the address lies outside every expanded structure.
+func (g *Geometry) Copy(addr int64) int {
+	if g == nil {
+		return -1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	i := sort.Search(len(g.notes), func(i int) bool { return g.notes[i].base > addr }) - 1
+	if i < 0 {
+		return -1
+	}
+	n := g.notes[i]
+	off := addr - n.base
+	if off >= n.span*int64(g.nt) {
+		return -1
+	}
+	if n.esz > 0 {
+		return int((off / n.esz) % int64(g.nt))
+	}
+	return int(off / n.span)
+}
+
+// SiteKey identifies one profile bucket: an access site of the
+// expanded program and the expanded-copy index it touched (-1 for
+// addresses outside every expanded structure).
+type SiteKey struct {
+	Site int `json:"site"`
+	Copy int `json:"copy"`
+}
+
+// SiteCost accumulates the cost charged to one bucket. Ops is the
+// simulated op cost (one per sited access — the Mem price every
+// access pays); Bytes the Mem/MemAll traffic.
+type SiteCost struct {
+	Loads  int64 `json:"loads"`
+	Stores int64 `json:"stores"`
+	Bytes  int64 `json:"bytes"`
+}
+
+const hotShards = 64
+
+// HotSites is the per-access profiler: it attributes access cost to
+// (site, copy) buckets. Recording is sharded by thread id so workers
+// do not contend on one mutex; each record is a shard-local map
+// update, which is the same order of cost the guard monitor pays per
+// access. Nil-safe throughout.
+type HotSites struct {
+	shards [hotShards]hotShard
+}
+
+type hotShard struct {
+	mu sync.Mutex
+	m  map[SiteKey]*SiteCost
+}
+
+// NewHotSites creates an empty profiler.
+func NewHotSites() *HotSites {
+	h := &HotSites{}
+	for i := range h.shards {
+		h.shards[i].m = map[SiteKey]*SiteCost{}
+	}
+	return h
+}
+
+// Record charges one access at site, touching copy cp (-1 = not
+// expanded), to the profile. No-op on nil.
+func (h *HotSites) Record(tid, site, cp int, store bool, size int64) {
+	if h == nil {
+		return
+	}
+	sh := &h.shards[tid&(hotShards-1)]
+	key := SiteKey{Site: site, Copy: cp}
+	sh.mu.Lock()
+	c, ok := sh.m[key]
+	if !ok {
+		c = &SiteCost{}
+		sh.m[key] = c
+	}
+	if store {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+	c.Bytes += size
+	sh.mu.Unlock()
+}
+
+// SiteReport is one merged profile bucket.
+type SiteReport struct {
+	SiteKey
+	SiteCost
+}
+
+// Report merges the shards and returns every bucket sorted by total
+// access count descending (ties by site then copy, so output is
+// deterministic).
+func (h *HotSites) Report() []SiteReport {
+	if h == nil {
+		return nil
+	}
+	merged := map[SiteKey]SiteCost{}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for k, c := range sh.m {
+			t := merged[k]
+			t.Loads += c.Loads
+			t.Stores += c.Stores
+			t.Bytes += c.Bytes
+			merged[k] = t
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]SiteReport, 0, len(merged))
+	for k, c := range merged {
+		out = append(out, SiteReport{SiteKey: k, SiteCost: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].Loads + out[i].Stores
+		tj := out[j].Loads + out[j].Stores
+		if ti != tj {
+			return ti > tj
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Copy < out[j].Copy
+	})
+	return out
+}
+
+// Top returns the n hottest buckets (all of them when n <= 0).
+func (h *HotSites) Top(n int) []SiteReport {
+	rep := h.Report()
+	if n > 0 && len(rep) > n {
+		rep = rep[:n]
+	}
+	return rep
+}
+
+// Folded writes the profile in the flamegraph folded-stack text
+// format: one line per bucket, semicolon-separated frames followed by
+// a space and the sample weight (total accesses charged there). The
+// frames callback resolves a site id to its stack (outermost first,
+// e.g. function; source position and expression text); a nil callback
+// or empty result falls back to "site#N". Expanded buckets get a
+// final "copy N" frame so per-copy skew is visible in the flamegraph.
+func (h *HotSites) Folded(w io.Writer, frames func(site int) []string) error {
+	for _, r := range h.Report() {
+		var fs []string
+		if frames != nil {
+			fs = frames(r.Site)
+		}
+		if len(fs) == 0 {
+			fs = []string{fmt.Sprintf("site#%d", r.Site)}
+		}
+		if r.Copy >= 0 {
+			fs = append(fs, fmt.Sprintf("copy %d", r.Copy))
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", strings.Join(fs, ";"), r.Loads+r.Stores); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"gdsx/internal/ast"
 	"gdsx/internal/interp"
+	"gdsx/internal/obs"
 )
 
 // Model holds the cost constants of the simulated machine, in
@@ -76,6 +77,17 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Busy += o.Busy
 	b.Sync += o.Sync
 	b.Wait += o.Wait
+}
+
+// Publish records the breakdown in a metrics registry under
+// prefix+".time"/".busy"/".sync"/".wait" gauges, so simulated-schedule
+// results surface through the same observability pipeline as runtime
+// metrics. Safe on a nil registry.
+func (b Breakdown) Publish(r *obs.Registry, prefix string) {
+	r.Gauge(prefix + ".time").Set(b.Time)
+	r.Gauge(prefix + ".busy").Set(b.Busy)
+	r.Gauge(prefix + ".sync").Set(b.Sync)
+	r.Gauge(prefix + ".wait").Set(b.Wait)
 }
 
 // Simulate replays one loop trace with n threads.

@@ -1,0 +1,139 @@
+package gdsx
+
+// Observability parity between the execution engines. The engines
+// already cross-validate on output and counters (engine_test.go);
+// these tests extend the contract to the observability layer: both
+// engines must emit the same canonical event stream and the same
+// deterministic metrics for the same program at the same thread count.
+// Canonical form erases what legitimately differs between runs —
+// timestamps, durations, emitting thread, allocation base addresses
+// and checkpoint page sets (see obs.Event schemas).
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gdsx/internal/obs"
+	"gdsx/internal/workloads"
+)
+
+// obsRun executes src under eng with a fully enabled (non-hot)
+// observer and returns the observer.
+func obsRun(t *testing.T, name, src string, eng Engine, threads int) *Observer {
+	t.Helper()
+	o := NewObserver(false)
+	o.IterSpans = true
+	_, err := RunSource(name, src, RunOptions{Threads: threads, Engine: eng, Obs: o})
+	if err != nil {
+		t.Fatalf("%s (engine %v, %d threads): %v", name, eng, threads, err)
+	}
+	return o
+}
+
+// deterministicCounters filters a metrics snapshot down to the
+// counters that must match between engines: spin counts (wait ops)
+// depend on real scheduling, everything else is simulated and exact.
+func deterministicCounters(s obs.Snapshot) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range s.Counters {
+		if name == "interp.ops.wait" {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+func TestObsEngineParity(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := Compile(w.Name+".c", w.Source(workloads.Test))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			tr, err := Transform(prog, TransformOptions{})
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			for _, n := range []int{1, 2, 4} {
+				// The expanded program is the one whose parallel runs are
+				// deterministic; the native source races at n > 1 (see
+				// engine_test.go).
+				name := fmt.Sprintf("%s-x.c", w.Name)
+				treeObs := obsRun(t, name, tr.Source, EngineTree, n)
+				compObs := obsRun(t, name, tr.Source, EngineCompiled, n)
+
+				treeEvents := treeObs.Trace.Canonical()
+				compEvents := compObs.Trace.Canonical()
+				if !reflect.DeepEqual(treeEvents, compEvents) {
+					t.Fatalf("N=%d: canonical event streams differ\ntree (%d):\n%s\ncompiled (%d):\n%s",
+						n, len(treeEvents), strings.Join(treeEvents, "\n"),
+						len(compEvents), strings.Join(compEvents, "\n"))
+				}
+				// Single-threaded runs take the plain sequential path and
+				// emit no region events; parallel runs must.
+				if n > 1 && len(treeEvents) == 0 {
+					t.Fatalf("N=%d: expected events from an expanded parallel run", n)
+				}
+
+				treeM := deterministicCounters(treeObs.Metrics.Snapshot())
+				compM := deterministicCounters(compObs.Metrics.Snapshot())
+				if !reflect.DeepEqual(treeM, compM) {
+					t.Fatalf("N=%d: deterministic metrics differ\ntree: %v\ncompiled: %v",
+						n, treeM, compM)
+				}
+			}
+		})
+	}
+}
+
+// TestObsGuardedParity extends event-stream parity to guarded runs
+// with recovery on the multi-region adversarial program: guard
+// verdicts, rollbacks and checkpoint commits must appear identically
+// under both engines.
+func TestObsGuardedParity(t *testing.T) {
+	a := workloads.AdversarialMultiRegion()
+	native, err := Compile(a.Name+".c", a.Expose(workloads.Test))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr, err := Transform(native, TransformOptions{
+		Guard:         true,
+		ProfileSource: a.Profile(workloads.Test),
+	})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	for _, n := range []int{2, 4} {
+		streams := map[Engine][]string{}
+		for _, eng := range []Engine{EngineTree, EngineCompiled} {
+			o := NewObserver(false)
+			o.IterSpans = true
+			res, err := GuardedRun(native, tr, RunOptions{
+				Threads: n, Engine: eng, Recover: &RecoverySpec{}, Obs: o,
+			})
+			if err != nil {
+				t.Fatalf("guarded run (engine %v, %d threads): %v", eng, n, err)
+			}
+			if res.FellBack {
+				t.Fatalf("engine %v: recovery must contain the violation", eng)
+			}
+			streams[eng] = o.Trace.Canonical()
+		}
+		if !reflect.DeepEqual(streams[EngineTree], streams[EngineCompiled]) {
+			t.Fatalf("N=%d: guarded canonical streams differ\ntree:\n%s\ncompiled:\n%s",
+				n, strings.Join(streams[EngineTree], "\n"),
+				strings.Join(streams[EngineCompiled], "\n"))
+		}
+		joined := strings.Join(streams[EngineTree], "\n")
+		for _, want := range []string{"guard-verdict", "rollback", "checkpoint-commit", "region"} {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("N=%d: guarded stream lacks %q events:\n%s", n, want, joined)
+			}
+		}
+	}
+}
