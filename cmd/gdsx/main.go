@@ -29,6 +29,7 @@ import (
 	"gdsx"
 	"gdsx/internal/ddg"
 	"gdsx/internal/expand"
+	"gdsx/internal/obs"
 )
 
 func main() {
@@ -57,11 +58,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gdsx run      [-threads N] [-seq] [-engine compiled|tree] file.c
+  gdsx run      [-threads N] [-seq] [-engine compiled|compiled-noopt|tree]
+                [-opt-profile sites.json] file.c
   gdsx profile  [-loop ID] [-json] file.c
   gdsx expand   [-unopt] [-interleaved|-adaptive] file.c
-  gdsx pipeline [-threads N] [-engine compiled|tree] [-guard] [-recover]
-                [-region-timeout D] [-profile-input train.c] file.c`)
+  gdsx pipeline [-threads N] [-engine compiled|compiled-noopt|tree] [-guard]
+                [-recover] [-region-timeout D] [-profile-input train.c]
+                [-hotspots] [-hotspots-json sites.json]
+                [-opt-profile sites.json] file.c`)
 	os.Exit(2)
 }
 
@@ -77,22 +81,47 @@ func compileArg(fs *flag.FlagSet) (*gdsx.Program, error) {
 	return gdsx.Compile(file, string(src))
 }
 
-// engineFlag parses the -engine flag value ("compiled" or "tree").
+// engineFlag parses the -engine flag value ("compiled",
+// "compiled-noopt" or "tree").
 func engineFlag(name string) (gdsx.Engine, error) {
 	eng, ok := gdsx.EngineFromString(name)
 	if !ok {
-		return eng, fmt.Errorf("unknown engine %q (want compiled or tree)", name)
+		return eng, fmt.Errorf("unknown engine %q (want compiled, compiled-noopt or tree)", name)
 	}
 	return eng, nil
+}
+
+// readOptProfile loads a hot-site profile (the JSON a previous
+// `pipeline -hotspots -hotspots-json` run wrote) for the compiled
+// engine's site specializer. An empty path means no profile.
+func readOptProfile(path string) (*gdsx.SiteProfile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var reps []obs.SiteReport
+	if err := json.Unmarshal(data, &reps); err != nil {
+		return nil, fmt.Errorf("opt-profile %s: %w", path, err)
+	}
+	return gdsx.SiteProfileFromReports(reps), nil
 }
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	threads := fs.Int("threads", 1, "simulated thread count")
 	seq := fs.Bool("seq", false, "force sequential execution of parallel loops")
-	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
+	engineName := fs.String("engine", "compiled", "execution engine: compiled, compiled-noopt or tree")
+	optProfile := fs.String("opt-profile", "",
+		"hot-site profile JSON (from pipeline -hotspots-json) for site specialization")
 	fs.Parse(args)
 	engine, err := engineFlag(*engineName)
+	if err != nil {
+		return err
+	}
+	sites, err := readOptProfile(*optProfile)
 	if err != nil {
 		return err
 	}
@@ -100,7 +129,8 @@ func runCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := prog.Run(gdsx.RunOptions{Threads: *threads, ForceSequential: *seq, Engine: engine})
+	res, err := prog.Run(gdsx.RunOptions{Threads: *threads, ForceSequential: *seq,
+		Engine: engine, OptProfile: sites})
 	if err != nil {
 		return err
 	}
@@ -219,7 +249,7 @@ func expandCmd(args []string) error {
 func pipelineCmd(args []string) error {
 	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
 	threads := fs.Int("threads", 4, "simulated thread count")
-	engineName := fs.String("engine", "compiled", "execution engine: compiled or tree")
+	engineName := fs.String("engine", "compiled", "execution engine: compiled, compiled-noopt or tree")
 	guarded := fs.Bool("guard", false,
 		"run under the dependence-violation monitor with sequential fallback")
 	recoverRegions := fs.Bool("recover", false,
@@ -237,8 +267,17 @@ func pipelineCmd(args []string) error {
 		"profile per-access hot sites and print the hottest to stderr (expensive)")
 	hotspotsOut := fs.String("hotspots-out", "",
 		"with -hotspots: also write the full profile as flamegraph folded stacks")
+	hotspotsJSON := fs.String("hotspots-json", "",
+		"with -hotspots: write the per-site profile as JSON (feed to -opt-profile)")
+	optProfile := fs.String("opt-profile", "",
+		"hot-site profile JSON from a previous -hotspots-json run; the compiled "+
+			"engine specializes the hottest sites' accessors")
 	fs.Parse(args)
 	engine, err := engineFlag(*engineName)
+	if err != nil {
+		return err
+	}
+	sites, err := readOptProfile(*optProfile)
 	if err != nil {
 		return err
 	}
@@ -258,12 +297,16 @@ func pipelineCmd(args []string) error {
 		}
 		topts.ProfileSource = string(psrc)
 	}
-	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine, RegionTimeout: *regionTimeout}
+	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine,
+		RegionTimeout: *regionTimeout, OptProfile: sites}
 	if *recoverRegions && !*guarded {
 		return fmt.Errorf("-recover requires -guard")
 	}
 	if *recoverRegions {
 		ropts.Recover = &gdsx.RecoverySpec{}
+	}
+	if *hotspotsJSON != "" && !*hotspots {
+		return fmt.Errorf("-hotspots-json requires -hotspots")
 	}
 	if *traceOut != "" || *metricsOut != "" || *hotspots {
 		ropts.Obs = gdsx.NewObserver(*hotspots)
@@ -329,13 +372,14 @@ func pipelineCmd(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "native vs %s%d-thread expanded: %s (%d structures expanded)\n",
 		kind, *threads, status, tr.Reports[0].Structures)
-	return writeObsOutputs(ropts.Obs, expanded, *traceOut, *metricsOut, *hotspots, *hotspotsOut)
+	return writeObsOutputs(ropts.Obs, expanded, *traceOut, *metricsOut, *hotspots, *hotspotsOut, *hotspotsJSON)
 }
 
 // writeObsOutputs emits the observability artifacts the pipeline flags
 // requested: the Chrome trace JSON, the metrics registry text, and the
-// hot-site profile (top table on stderr, folded stacks to a file).
-func writeObsOutputs(o *gdsx.Observer, expanded *gdsx.Program, traceOut, metricsOut string, hotspots bool, hotspotsOut string) error {
+// hot-site profile (top table on stderr, folded stacks or the raw
+// per-site JSON the optimizer's -opt-profile flag re-reads to files).
+func writeObsOutputs(o *gdsx.Observer, expanded *gdsx.Program, traceOut, metricsOut string, hotspots bool, hotspotsOut, hotspotsJSON string) error {
 	if o == nil {
 		return nil
 	}
@@ -390,6 +434,17 @@ func writeObsOutputs(o *gdsx.Observer, expanded *gdsx.Program, traceOut, metrics
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "hotspots: folded stacks -> %s\n", hotspotsOut)
+		}
+		if hotspotsJSON != "" {
+			data, err := json.MarshalIndent(o.Hot.Report(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(hotspotsJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "hotspots: site profile -> %s (use with -opt-profile)\n",
+				hotspotsJSON)
 		}
 	}
 	return nil

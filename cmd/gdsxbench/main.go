@@ -8,13 +8,18 @@
 //
 //	gdsxbench [-scale test|profile|bench] [-engine compiled|tree] [-exp all|table4|table5|fig8|...|fig14]
 //	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
+//	gdsxbench -bench-opt [-quick] [-scale ...] [-o BENCH_opt.json]
 //	gdsxbench -guard [-scale ...] [-o BENCH_guard.json]
 //	gdsxbench -recovery [-scale ...] [-o BENCH_recovery.json]
 //	gdsxbench -obs [-quick] [-scale ...] [-o BENCH_obs.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
-// and writes the comparison as JSON. The -guard mode measures the
+// and writes the comparison as JSON. The -bench-opt mode measures the
+// compiled engine with its optimization pipeline on versus off;
+// -bench-opt -quick is the CI smoke variant, which measures a workload
+// subset and exits nonzero when the geomean speedup regresses more
+// than 5% against the matching rows of the checked-in BENCH_opt.json. The -guard mode measures the
 // guarded-execution monitor's overhead on violation-free parallel runs
 // (use -scale profile: the monitor logs every access, so bench-scale
 // inputs need log memory proportional to their operation count). The
@@ -55,6 +60,8 @@ func main() {
 	engineName := flag.String("engine", "compiled", "execution engine: compiled or tree")
 	benchEngines := flag.Bool("bench-engines", false,
 		"measure tree vs compiled engine wall clock and write JSON")
+	benchOpt := flag.Bool("bench-opt", false,
+		"measure the compiled engine's optimization pipeline (on vs off) and write JSON")
 	benchGuard := flag.Bool("guard", false,
 		"measure guarded-execution monitor overhead on violation-free runs and write JSON")
 	benchRecovery := flag.Bool("recovery", false,
@@ -64,7 +71,9 @@ func main() {
 		"measure observability-layer overhead on expanded parallel runs and write JSON")
 	quick := flag.Bool("quick", false,
 		"with -obs: CI smoke variant — few workloads, no hot-profiler config,"+
-			" nonzero exit when geomean overhead exceeds 15%")
+			" nonzero exit when geomean overhead exceeds 15%."+
+			" With -bench-opt: measure the smoke subset and gate against"+
+			" the checked-in BENCH_opt.json")
 	httpAddr := flag.String("http", "",
 		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
 			" during the run, e.g. :8080")
@@ -124,6 +133,21 @@ func main() {
 				" %.1f%% exceeds the 15%% smoke budget\n", rep.GeomeanOverhead*100)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *benchOpt {
+		rep, err := h.OptComparison(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *quick {
+			gateOptRegression(rep, *outFile)
+			return
+		}
+		writeJSON(rep, *outFile, "BENCH_opt.json", "optimization comparison", start)
 		return
 	}
 
@@ -239,6 +263,46 @@ func main() {
 	}
 	fmt.Print(rep.RenderPartial())
 	fmt.Fprintf(os.Stderr, "\n(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// gateOptRegression compares a quick -bench-opt measurement against
+// the matching rows of the checked-in BENCH_opt.json (or the -o
+// override) and exits nonzero on a >5% geomean regression. Wall-clock
+// speedups on shared CI machines are noisy per workload; the geomean
+// over the subset with a 5% allowance holds steady while still
+// catching a disabled or broken pass, whose signature is the ratio
+// collapsing toward 1.0x.
+func gateOptRegression(rep *bench.OptReport, baseFile string) {
+	if baseFile == "" {
+		baseFile = "BENCH_opt.json"
+	}
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	var base bench.OptReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gdsxbench: %s: %v\n", baseFile, err)
+		os.Exit(1)
+	}
+	var names []string
+	for _, row := range rep.Rows {
+		names = append(names, row.Workload)
+	}
+	want, ok := base.GeomeanOver(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: %s lacks rows for the smoke subset %v\n",
+			baseFile, names)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gdsxbench: quick geomean %.2fx vs checked-in %.2fx (same subset)\n",
+		rep.Geomean, want)
+	if rep.Geomean < want*0.95 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: optimized-engine speedup regressed more"+
+			" than 5%% against %s\n", baseFile)
+		os.Exit(1)
+	}
 }
 
 // writeJSON serializes a report to out (or the mode's default file).

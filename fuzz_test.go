@@ -2,10 +2,10 @@ package gdsx
 
 // FuzzCompileRun drives arbitrary source text through the full
 // frontend (lexer, parser, semantic analysis) and, when it compiles,
-// through both execution engines with tight operation and memory
-// bounds. The frontend must reject garbage with an error — never a
-// panic — and the two engines must agree on the outcome of whatever
-// survives to execution.
+// through the execution engines — tree-walker, unoptimized compiled,
+// optimized compiled — with tight operation and memory bounds. The
+// frontend must reject garbage with an error — never a panic — and the
+// engines must agree on the outcome of whatever survives to execution.
 
 import (
 	"errors"
@@ -26,6 +26,16 @@ func FuzzCompileRun(f *testing.F) {
 	f.Add(`int main() { return 0; }`)
 	f.Add(`int g; int main() { int *p = &g; *p = 3; return g; }`)
 	f.Add(`int main() { parallel for (;;) {} }`)
+	// Address-taken locals: the register-promotion analysis must demote
+	// exactly these, so aliasing stores stay visible to later reads.
+	f.Add(`int main() { int a = 1; int *p = &a; *p = 7; return a + *p; }`)
+	f.Add(`int set(int *x) { *x = 9; return *x; }
+int main() { int a = 2; int b = set(&a); return a * 10 + b; }`)
+	f.Add(`int main() {
+	int i; int a; int s = 0;
+	for (i = 0; i < 4; i++) { int *p = &a; a = i; s = s + *p + (int)sizeof a; }
+	return s;
+}`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Compile("fuzz.c", src)
@@ -46,7 +56,7 @@ func FuzzCompileRun(f *testing.F) {
 		// dynamic DOACROSS schedule loads most). The requirement here is
 		// containment: any failure must be a structured RuntimeError, not
 		// a process panic, deadlock, or hang.
-		for _, eng := range []Engine{EngineTree, EngineCompiled} {
+		for _, eng := range []Engine{EngineTree, EngineCompiledNoOpt, EngineCompiled} {
 			o := opts
 			o.Engine = eng
 			if _, rerr := prog.Run(o); rerr != nil {
@@ -64,7 +74,7 @@ func FuzzCompileRun(f *testing.F) {
 			exit int64
 			err  error
 		}{}
-		for _, eng := range []Engine{EngineTree, EngineCompiled} {
+		for _, eng := range []Engine{EngineTree, EngineCompiledNoOpt, EngineCompiled} {
 			o := opts
 			o.Engine = eng
 			o.ForceSequential = true
@@ -81,10 +91,13 @@ func FuzzCompileRun(f *testing.F) {
 				err  error
 			}{res.Output, res.Exit, rerr}
 		}
-		tr, cp := results[EngineTree], results[EngineCompiled]
-		if (tr.err == nil) != (cp.err == nil) || tr.out != cp.out || tr.exit != cp.exit {
-			t.Fatalf("sequential runs diverge:\ntree:     exit=%d err=%v out=%q\ncompiled: exit=%d err=%v out=%q",
-				tr.exit, tr.err, tr.out, cp.exit, cp.err, cp.out)
+		tr := results[EngineTree]
+		for _, eng := range []Engine{EngineCompiledNoOpt, EngineCompiled} {
+			cp := results[eng]
+			if (tr.err == nil) != (cp.err == nil) || tr.out != cp.out || tr.exit != cp.exit {
+				t.Fatalf("sequential runs diverge:\ntree: exit=%d err=%v out=%q\n%v:   exit=%d err=%v out=%q",
+					tr.exit, tr.err, tr.out, eng, cp.exit, cp.err, cp.out)
+			}
 		}
 	})
 }

@@ -96,6 +96,15 @@ type RunOptions struct {
 	// the tree-walking reference implementation. Both engines produce
 	// byte-identical output and identical instruction counters.
 	Engine Engine
+	// Opt selects the compiled engine's optimization level. The zero
+	// value enables the full pass pipeline (register promotion,
+	// superinstruction fusion, profile-guided specialization); OptNone
+	// disables it, matching EngineCompiledNoOpt.
+	Opt OptLevel
+	// OptProfile feeds a prior run's hot-site profile to the optimizer,
+	// which specializes the hottest sites' memory accessors to their
+	// observed access width. Nil disables specialization.
+	OptProfile *SiteProfile
 	// Recover enables region-scoped checkpoint/rollback recovery: each
 	// parallel region snapshots mutable machine state on entry, and a
 	// guard violation, worker fault or watchdog timeout rolls just that
@@ -155,10 +164,34 @@ const (
 	EngineCompiled = interp.EngineCompiled
 	// EngineTree walks the AST on every execution (reference engine).
 	EngineTree = interp.EngineTree
+	// EngineCompiledNoOpt is the compiled engine with the optimization
+	// pipeline disabled (shorthand for EngineCompiled + OptNone).
+	EngineCompiledNoOpt = interp.EngineCompiledNoOpt
 )
 
-// EngineFromString parses an engine name ("compiled", "tree", or ""
-// for the default).
+// OptLevel re-exports the compiled engine's optimization selector.
+type OptLevel = interp.OptLevel
+
+// Optimization levels for the compiled engine.
+const (
+	// OptDefault runs the full optimization pipeline (the zero value).
+	OptDefault = interp.OptDefault
+	// OptNone compiles every construct with the generic closures.
+	OptNone = interp.OptNone
+)
+
+// SiteProfile re-exports the optimizer's hot-site profile input.
+type SiteProfile = interp.SiteProfile
+
+// SiteProfileFromReports converts the hot-site profiler's per-site
+// report (Observer.Hot.Report(), or the same JSON re-read from the
+// pipeline's -hotspots-json output) into the optimizer's profile form.
+func SiteProfileFromReports(reps []obs.SiteReport) *SiteProfile {
+	return interp.SiteProfileFromReports(reps)
+}
+
+// EngineFromString parses an engine name ("compiled", "compiled-noopt",
+// "tree", or "" for the default).
 func EngineFromString(s string) (Engine, bool) { return interp.EngineFromString(s) }
 
 // Result re-exports the interpreter's run result.
@@ -176,6 +209,8 @@ func (o RunOptions) interpOptions() interp.Options {
 		FailAlloc:       o.FailAlloc,
 		Hooks:           o.Hooks,
 		Engine:          o.Engine,
+		Opt:             o.Opt,
+		OptProfile:      o.OptProfile,
 		Recover:         o.Recover,
 		RegionTimeout:   o.RegionTimeout,
 		Obs:             o.Obs,

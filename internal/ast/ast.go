@@ -100,6 +100,13 @@ type Symbol struct {
 	Decl    *VarDecl // defining declaration for variables
 	Fn      *FuncDecl
 	Builtin BuiltinKind
+
+	// AddrTaken is set by sema when the variable's address is observed
+	// (&x, sizeof x, or as the base of a member access). Variables whose
+	// address is never taken can only be reached through their name,
+	// which makes them safe for register promotion in the compiled
+	// engine.
+	AddrTaken bool
 }
 
 func (s *Symbol) String() string { return s.Name }

@@ -49,6 +49,18 @@ type cconv func(v value) value
 type compiledFunc struct {
 	fn   *ast.FuncDecl
 	body cstmt
+	// nregs is the register-file size callCompiled allocates for the
+	// frame; 0 unless the optimizing compiler promoted something.
+	nregs int
+	// pparams maps argument positions to the register slots of
+	// promoted parameters.
+	pparams []promotedParam
+}
+
+// promotedParam records that argument arg of a call initializes the
+// frame register of the parameter at slot index slot.
+type promotedParam struct {
+	arg, slot int
 }
 
 // compiledProg holds the compiled bodies of every function in a
@@ -67,6 +79,11 @@ type compiler struct {
 	prog  *compiledProg
 	curFn *ast.FuncDecl
 	maxOp int64
+	// opt holds the resolved optimization-pipeline switches (opt.go).
+	opt optConfig
+	// promoted flags, by Symbol.Index, which of curFn's slots live in
+	// frame registers; nil when nothing in curFn is promoted.
+	promoted []bool
 }
 
 // compileProgram compiles every function of m's program. Functions
@@ -79,6 +96,7 @@ func compileProgram(m *Machine) *compiledProg {
 		hooks: m.opts.Hooks,
 		prog:  &compiledProg{funcs: map[*ast.FuncDecl]*compiledFunc{}},
 		maxOp: m.opts.MaxOps,
+		opt:   newOptConfig(m),
 	}
 	fns := m.prog.Funcs()
 	for _, fn := range fns {
@@ -86,7 +104,17 @@ func compileProgram(m *Machine) *compiledProg {
 	}
 	for _, fn := range fns {
 		c.curFn = fn
-		c.prog.funcs[fn].body = c.compileBlock(fn.Body)
+		c.promoted = c.promotableSlots(fn)
+		cf := c.prog.funcs[fn]
+		cf.body = c.compileBlock(fn.Body)
+		if c.promoted != nil {
+			cf.nregs = fn.NumSlots
+			for i, p := range fn.Params {
+				if c.promoted[p.Sym.Index] {
+					cf.pparams = append(cf.pparams, promotedParam{arg: i, slot: p.Sym.Index})
+				}
+			}
+		}
 	}
 	return c.prog
 }
@@ -271,6 +299,9 @@ func (c *compiler) storerFor(ty *ctypes.Type) func(t *thread, addr int64, v valu
 // observability adapter compile to the same closures as no hooks at
 // all).
 func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64) value {
+	if acc, ok := c.hotLoadAcc(pos, site, ty); ok {
+		return acc
+	}
 	ld := c.loaderFor(ty)
 	size := accSize(ty)
 	if !c.hooks.HasAccessHooks() {
@@ -302,6 +333,9 @@ func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thr
 
 // storeAcc compiles storeAccess for a fixed site and type.
 func (c *compiler) storeAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thread, addr int64, v value) {
+	if acc, ok := c.hotStoreAcc(pos, site, ty); ok {
+		return acc
+	}
 	st := c.storerFor(ty)
 	size := accSize(ty)
 	if !c.hooks.HasAccessHooks() {
@@ -398,8 +432,57 @@ func (c *compiler) constEval(e ast.Expr) (v value, n int64, ok bool) {
 		return c.constUnary(x)
 	case *ast.Binary:
 		return c.constBinary(x)
+	case *ast.Logical:
+		return c.constLogical(x)
+	case *ast.Cond:
+		return c.constCond(x)
 	}
 	return value{}, 0, false
+}
+
+// constLogical folds && / || with short-circuit-exact tick counts: the
+// tree-walker never evaluates (or ticks) the right operand once the
+// left decides, so a decided left folds the whole expression even when
+// the right is not constant.
+func (c *compiler) constLogical(x *ast.Logical) (value, int64, bool) {
+	xv, xn, ok := c.constEval(x.X)
+	if !ok {
+		return value{}, 0, false
+	}
+	tx := truth(xv, x.X.ExprType())
+	if x.Op == token.LAND && !tx {
+		return iv(0), xn + 1, true
+	}
+	if x.Op == token.LOR && tx {
+		return iv(1), xn + 1, true
+	}
+	yv, yn, ok := c.constEval(x.Y)
+	if !ok {
+		return value{}, 0, false
+	}
+	if truth(yv, x.Y.ExprType()) {
+		return iv(1), xn + yn + 1, true
+	}
+	return iv(0), xn + yn + 1, true
+}
+
+// constCond folds ?: when the condition and the taken branch are
+// constant. The untaken branch never runs, so it needs no folding —
+// only the taken branch's ticks count.
+func (c *compiler) constCond(x *ast.Cond) (value, int64, bool) {
+	cv, cn, ok := c.constEval(x.C)
+	if !ok || x.ExprType() == nil {
+		return value{}, 0, false
+	}
+	taken := x.Then
+	if !truth(cv, x.C.ExprType()) {
+		taken = x.Else
+	}
+	tv, tn, ok := c.constEval(taken)
+	if !ok {
+		return value{}, 0, false
+	}
+	return convert(tv, taken.ExprType(), x.ExprType()), cn + tn + 1, true
 }
 
 func (c *compiler) constUnary(x *ast.Unary) (value, int64, bool) {

@@ -100,6 +100,9 @@ func (c *compiler) compileIdent(x *ast.Ident) cexpr {
 	case ast.SymFunc, ast.SymBuiltin:
 		return c.fallbackExpr(x) // "function %s used as a value"
 	}
+	if c.isPromoted(sym) {
+		return c.promotedLoad(sym, x.Pos())
+	}
 	ad := c.symAddrC(sym, x.Pos())
 	if k := sym.Type.Kind; k == ctypes.Array || k == ctypes.Struct {
 		return func(t *thread, f *frame) value {
@@ -147,16 +150,21 @@ func (c *compiler) compileAddr(e ast.Expr) caddr {
 		return c.symAddrC(x.Sym, x.Pos())
 
 	case *ast.Index:
-		base := c.compileBase(x.X)
-		idx := c.compileExpr(x.I)
 		elem := x.ExprType()
 		if esz, ok := staticSizeOfElem(elem); ok {
+			if fused := c.fusedIndexAddr(x, esz); fused != nil {
+				return fused
+			}
+			base := c.compileBase(x.X)
+			idx := c.compileExpr(x.I)
 			return func(t *thread, f *frame) int64 {
 				b := base(t, f)
 				i := idx(t, f)
 				return b + i.I*esz
 			}
 		}
+		base := c.compileBase(x.X)
+		idx := c.compileExpr(x.I)
 		pos := x.Pos()
 		return func(t *thread, f *frame) int64 {
 			b := base(t, f)
@@ -336,15 +344,43 @@ func (c *compiler) compileBinary(x *ast.Binary) cexpr {
 	}
 
 	common := ctypes.Common(xt, yt)
-	cvx := convC(xt, common)
-	cvy := convC(yt, common)
-	ex := c.compileExpr(x.X)
-	ey := c.compileExpr(x.Y)
+	// Fused operands (constants, promoted scalars) evaluate unticked;
+	// their static tick counts fold into the node's own bump. Identity
+	// conversions drop out of the fused kernels entirely.
+	n := int64(1)
+	var ex, ey cexpr
+	if fx, xn, ok := c.fuseOperand(x.X); ok {
+		ex, n = fx, n+xn
+	} else {
+		ex = c.compileExpr(x.X)
+	}
+	if fy, yn, ok := c.fuseOperand(x.Y); ok {
+		ey, n = fy, n+yn
+	} else {
+		ey = c.compileExpr(x.Y)
+	}
+	var cvx, cvy cconv
+	skipConv := false
+	if c.opt.fuse {
+		cvxn, cvyn := convNC(xt, common), convNC(yt, common)
+		skipConv = cvxn == nil && cvyn == nil
+		cvx, cvy = orIdent(cvxn), orIdent(cvyn)
+	} else {
+		cvx, cvy = convC(xt, common), convC(yt, common)
+	}
 
 	// mk wires the converted operands into a binary kernel.
 	mk := func(op2 func(a, b value) value) cexpr {
+		if skipConv {
+			return func(t *thread, f *frame) value {
+				t.counters[CatWork] += n
+				a := ex(t, f)
+				b := ey(t, f)
+				return op2(a, b)
+			}
+		}
 		return func(t *thread, f *frame) value {
-			t.counters[CatWork]++
+			t.counters[CatWork] += n
 			a := cvx(ex(t, f))
 			b := cvy(ey(t, f))
 			return op2(a, b)
@@ -635,6 +671,9 @@ func (c *compiler) compileAssign(x *ast.Assign) cexpr {
 		}
 	}
 
+	if id, ok := x.LHS.(*ast.Ident); ok && c.isPromoted(id.Sym) {
+		return c.compilePromotedAssign(x, id)
+	}
 	ad := c.compileAddr(x.LHS)
 	cr := c.compileExpr(x.RHS)
 	if x.Op == token.ASSIGN {
@@ -767,17 +806,10 @@ func compoundC(pos token.Pos, op token.Kind, lt, rt *ctypes.Type) func(old, rv v
 	return generic
 }
 
-func (c *compiler) compileIncDec(x *ast.IncDec) cexpr {
-	ty := x.ExprType()
-	if ty == nil {
-		return c.fallbackExpr(x)
-	}
-	ad := c.compileAddr(x.X)
-	ld := c.loadAcc(x.Pos(), loadSite(x.X), ty)
-	st := c.storeAcc(x.Pos(), storeSite(x.X), ty)
+// incDecStep compiles the ±1 update for an increment or decrement of
+// type ty, shared by the generic and register-promoted emitters.
+func (c *compiler) incDecStep(x *ast.IncDec, ty *ctypes.Type) func(old value) value {
 	dec := x.Op == token.DEC
-
-	var step func(old value) value
 	switch {
 	case ty.Kind == ctypes.Ptr:
 		if esz, ok := staticSizeOfElem(ty.Elem); ok {
@@ -785,17 +817,16 @@ func (c *compiler) compileIncDec(x *ast.IncDec) cexpr {
 			if dec {
 				d = -d
 			}
-			step = func(old value) value { return iv(old.I + d) }
-		} else {
-			pos := x.Pos()
-			et := ty.Elem
-			step = func(old value) value {
-				d := sizeOfElem(et, pos)
-				if dec {
-					d = -d
-				}
-				return iv(old.I + d)
+			return func(old value) value { return iv(old.I + d) }
+		}
+		pos := x.Pos()
+		et := ty.Elem
+		return func(old value) value {
+			d := sizeOfElem(et, pos)
+			if dec {
+				d = -d
 			}
+			return iv(old.I + d)
 		}
 	case ty.IsFloat():
 		d := 1.0
@@ -803,15 +834,29 @@ func (c *compiler) compileIncDec(x *ast.IncDec) cexpr {
 			d = -1
 		}
 		cv := convC(ctypes.DoubleType, ty)
-		step = func(old value) value { return cv(fv(old.F + d)) }
+		return func(old value) value { return cv(fv(old.F + d)) }
 	default:
 		d := int64(1)
 		if dec {
 			d = -1
 		}
 		cv := convC(ctypes.LongType, ty)
-		step = func(old value) value { return cv(iv(old.I + d)) }
+		return func(old value) value { return cv(iv(old.I + d)) }
 	}
+}
+
+func (c *compiler) compileIncDec(x *ast.IncDec) cexpr {
+	ty := x.ExprType()
+	if ty == nil {
+		return c.fallbackExpr(x)
+	}
+	if id, ok := x.X.(*ast.Ident); ok && c.isPromoted(id.Sym) {
+		return c.compilePromotedIncDec(x, id)
+	}
+	ad := c.compileAddr(x.X)
+	ld := c.loadAcc(x.Pos(), loadSite(x.X), ty)
+	st := c.storeAcc(x.Pos(), storeSite(x.X), ty)
+	step := c.incDecStep(x, ty)
 
 	if x.Post {
 		return func(t *thread, f *frame) value {

@@ -171,6 +171,40 @@ func (c *compiler) compileDecl(d *ast.VarDecl) func(t *thread, f *frame) {
 	h := c.hooks
 	defSite := d.Acc.Store
 
+	if c.isPromoted(d.Sym) {
+		// Promoted scalars keep the alloca and the definition report but
+		// land their initial value in the register as well; with no
+		// initializer the register starts zero, matching the zeroed slot.
+		sz := ty.Size()
+		var ci cexpr
+		var cv cconv
+		if d.Init != nil {
+			ci = c.compileExpr(d.Init)
+			cv = convC(d.Init.ExprType(), ty)
+		}
+		st := c.storerFor(ty)
+		return func(t *thread, f *frame) {
+			a := t.alloca(sz, pos)
+			f.slots[idx] = a
+			if h != nil {
+				if h.Store != nil && t.isMain {
+					h.Store(defSite, a, sz)
+				}
+				if h.Observe != nil {
+					h.Observe(Access{Site: defSite, Addr: a, Size: sz, Tid: t.tid,
+						Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
+				}
+			}
+			if ci == nil {
+				f.regs[idx] = value{}
+				return
+			}
+			nv := cv(ci(t, f))
+			f.regs[idx] = nv
+			st(t, a, nv)
+		}
+	}
+
 	var sizeOf func(t *thread, f *frame) int64
 	switch {
 	case d.VLALen != nil:
@@ -249,8 +283,7 @@ func (c *compiler) compileDecl(d *ast.VarDecl) func(t *thread, f *frame) {
 }
 
 func (c *compiler) compileWhile(x *ast.While) cstmt {
-	cond := c.compileExpr(x.Cond)
-	tr := truthC(x.Cond.ExprType())
+	test := c.compileCondTest(x.Cond)
 	body := c.compileStmt(x.Body)
 	id := x.ID
 	h := c.hooks
@@ -263,7 +296,7 @@ func (c *compiler) compileWhile(x *ast.While) cstmt {
 				if t.cancel != nil && t.cancel.Load() {
 					panic(regionCanceled{})
 				}
-				if !tr(cond(t, f)) {
+				if !test(t, f) {
 					break
 				}
 				cc := body(t, f)
@@ -290,7 +323,7 @@ func (c *compiler) compileWhile(x *ast.While) cstmt {
 				h.LoopIter(id, iter)
 			}
 			iter++
-			if !tr(cond(t, f)) {
+			if !test(t, f) {
 				break
 			}
 			cc := body(t, f)
@@ -309,8 +342,7 @@ func (c *compiler) compileWhile(x *ast.While) cstmt {
 }
 
 func (c *compiler) compileDoWhile(x *ast.DoWhile) cstmt {
-	cond := c.compileExpr(x.Cond)
-	tr := truthC(x.Cond.ExprType())
+	test := c.compileCondTest(x.Cond)
 	body := c.compileStmt(x.Body)
 	id := x.ID
 	h := c.hooks
@@ -327,7 +359,7 @@ func (c *compiler) compileDoWhile(x *ast.DoWhile) cstmt {
 				if cc == ctrlReturn {
 					return cc
 				}
-				if !tr(cond(t, f)) {
+				if !test(t, f) {
 					break
 				}
 			}
@@ -354,7 +386,7 @@ func (c *compiler) compileDoWhile(x *ast.DoWhile) cstmt {
 			if cc == ctrlReturn {
 				return cc
 			}
-			if !tr(cond(t, f)) {
+			if !test(t, f) {
 				break
 			}
 		}
@@ -408,11 +440,9 @@ func (c *compiler) compileSeqFor(x *ast.For) cstmt {
 	if x.Init != nil {
 		init = c.compileStmt(x.Init)
 	}
-	var cond cexpr
-	var tr func(value) bool
+	var test func(t *thread, f *frame) bool
 	if x.Cond != nil {
-		cond = c.compileExpr(x.Cond)
-		tr = truthC(x.Cond.ExprType())
+		test = c.compileCondTest(x.Cond)
 	}
 	var post cexpr
 	if x.Post != nil {
@@ -441,7 +471,7 @@ func (c *compiler) compileSeqFor(x *ast.For) cstmt {
 			if h != nil && t.isMain && h.LoopIter != nil {
 				h.LoopIter(id, iter)
 			}
-			if cond != nil && !tr(cond(t, f)) {
+			if test != nil && !test(t, f) {
 				break
 			}
 			iter++

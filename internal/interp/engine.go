@@ -22,16 +22,26 @@ type Engine int
 // Engines. The zero value is the compiled engine, so it is the
 // default everywhere an Options struct is built without setting one.
 const (
-	// EngineCompiled executes pre-compiled closure trees (default).
+	// EngineCompiled executes pre-compiled closure trees with the
+	// optimization pipeline applied (default).
 	EngineCompiled Engine = iota
 	// EngineTree walks the AST directly (the reference implementation).
 	EngineTree
+	// EngineCompiledNoOpt is the compiled engine with the optimization
+	// pipeline disabled (register promotion, superinstruction fusion,
+	// site specialization). Machine construction normalizes it to
+	// EngineCompiled with Options.Opt = OptNone; it exists so command
+	// flags and tests can name the unoptimized configuration.
+	EngineCompiledNoOpt
 )
 
 // String names the engine as accepted by the -engine command flags.
 func (e Engine) String() string {
-	if e == EngineTree {
+	switch e {
+	case EngineTree:
 		return "tree"
+	case EngineCompiledNoOpt:
+		return "compiled-noopt"
 	}
 	return "compiled"
 }
@@ -44,6 +54,8 @@ func EngineFromString(s string) (Engine, bool) {
 		return EngineCompiled, true
 	case "tree":
 		return EngineTree, true
+	case "compiled-noopt":
+		return EngineCompiledNoOpt, true
 	}
 	return EngineCompiled, false
 }

@@ -132,6 +132,15 @@ type Options struct {
 	// closure-compiling engine; EngineTree is the tree-walking
 	// reference implementation (see engine.go).
 	Engine Engine
+	// Opt selects how much of the compiled engine's optimization
+	// pipeline applies (see opt.go). The zero value is the full
+	// pipeline; OptNone reproduces the unoptimized closures.
+	// Setting Engine to EngineCompiledNoOpt forces OptNone.
+	Opt OptLevel
+	// OptProfile, when set, drives profile-guided site specialization:
+	// the hottest sites it names get flattened load/store accessors.
+	// Nil disables the pass; the other passes do not need a profile.
+	OptProfile *SiteProfile
 	// Recover enables region-scoped checkpoint/rollback recovery: each
 	// parallel region snapshots mutable state on entry, and a guard
 	// abort, worker fault or watchdog timeout rolls the region back and
@@ -151,6 +160,10 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	if o.Engine == EngineCompiledNoOpt {
+		o.Engine = EngineCompiled
+		o.Opt = OptNone
+	}
 	if o.NumThreads <= 0 {
 		o.NumThreads = 1
 	}

@@ -351,7 +351,7 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 	nt := int64(w.m.opts.NumThreads)
 	chunk := lb.n / nt
 	rem := lb.n % nt
-	lo := int64(w.tid)*chunk + min64(int64(w.tid), rem)
+	lo := int64(w.tid)*chunk + min(int64(w.tid), rem)
 	hi := lo + chunk
 	if int64(w.tid) < rem {
 		hi++
@@ -424,9 +424,3 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 	}
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}

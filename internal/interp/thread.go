@@ -99,6 +99,12 @@ func (t *thread) alloca(size int64, pos token.Pos) int64 {
 type frame struct {
 	fn    *ast.FuncDecl
 	slots []int64
+	// regs holds the Go-native values of register-promoted scalars,
+	// indexed like slots. Allocated by callCompiled only when the
+	// optimizing compiler promoted something in this function; the
+	// promoted closures keep the backing memory in sync (writes go
+	// through), so regs[i] always equals a typed load of slots[i].
+	regs []value
 }
 
 // bindArgs pushes a fresh activation record for fn and copies the
@@ -166,6 +172,14 @@ func (t *thread) call(fn *ast.FuncDecl, args []value, pos token.Pos) value {
 func (t *thread) callCompiled(cf *compiledFunc, args []value, pos token.Pos) value {
 	mark := t.sp
 	f := t.bindArgs(cf.fn, args, pos)
+	if cf.nregs > 0 {
+		f.regs = make([]value, cf.nregs)
+		// Promoted parameters start life holding their bound argument
+		// (already converted to the parameter type by the call site).
+		for _, pp := range cf.pparams {
+			f.regs[pp.slot] = args[pp.arg]
+		}
+	}
 	c := cf.body(t, f)
 	return t.finishCall(cf.fn, mark, c, pos)
 }

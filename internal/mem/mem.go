@@ -60,9 +60,14 @@ func (b Block) End() int64 { return b.Base + b.Size }
 type Memory struct {
 	data []byte
 
-	mu        sync.RWMutex
-	live      map[int64]Block
-	bases     []int64 // sorted bases of live blocks
+	mu sync.RWMutex
+	// live is the live-block index, sorted by base. One binary search
+	// serves base-exact lookups (Free, Realloc) and interior-pointer
+	// containment (Block) alike; keeping the blocks themselves in the
+	// sorted slice — rather than a sorted base slice pointing into a
+	// map — makes the hot Block lookup a single cache-friendly search
+	// with no hashing, and snapshot capture a flat copy.
+	live      []Block
 	freeList  []Block // sorted by base, coalesced
 	policy    ScanPolicy
 	cursor    int64 // next-fit scan start (address, not index)
@@ -133,7 +138,6 @@ func (ob *memObs) noteAlloc(base, size int64, live int64, label string) {
 func New(capacity int64) *Memory {
 	m := &Memory{
 		data: make([]byte, capacity),
-		live: map[int64]Block{},
 	}
 	m.freeList = []Block{{Base: NullGuard, Size: capacity - NullGuard}}
 	return m
@@ -224,9 +228,7 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 			m.freeList[i] = Block{Base: f.Base + size, Size: f.Size - size}
 		}
 		m.cursor = base + size
-		b := Block{Base: base, Size: size, Site: site, Label: label}
-		m.live[base] = b
-		m.insertBase(base)
+		m.insertLive(Block{Base: base, Size: size, Site: site, Label: label})
 		m.liveBytes += size
 		m.allocs++
 		if m.liveBytes > m.highWater {
@@ -277,12 +279,12 @@ func (m *Memory) Free(base int64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	b, ok := m.live[base]
-	if !ok {
+	i := m.findLive(base)
+	if i < 0 {
 		return fmt.Errorf("mem: free of non-allocated address %d", base)
 	}
-	delete(m.live, base)
-	m.removeBase(base)
+	b := m.live[i]
+	m.live = append(m.live[:i], m.live[i+1:]...)
 	m.liveBytes -= b.Size
 	if b.Label != "stack" {
 		m.liveData -= b.Size
@@ -306,9 +308,13 @@ func (m *Memory) Realloc(base, newSize int64, site int) (int64, error) {
 		return m.Alloc(newSize, site, "")
 	}
 	m.mu.RLock()
-	old, ok := m.live[base]
+	i := m.findLive(base)
+	var old Block
+	if i >= 0 {
+		old = m.live[i]
+	}
 	m.mu.RUnlock()
-	if !ok {
+	if i < 0 {
 		return 0, fmt.Errorf("mem: realloc of non-allocated address %d", base)
 	}
 	nb, err := m.Alloc(newSize, site, old.Label)
@@ -326,19 +332,22 @@ func (m *Memory) Realloc(base, newSize int64, site int) (int64, error) {
 	return nb, nil
 }
 
-// insertBase keeps m.bases sorted.
-func (m *Memory) insertBase(base int64) {
-	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] >= base })
-	m.bases = append(m.bases, 0)
-	copy(m.bases[i+1:], m.bases[i:])
-	m.bases[i] = base
+// insertLive adds b to the sorted live-block index.
+func (m *Memory) insertLive(b Block) {
+	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base >= b.Base })
+	m.live = append(m.live, Block{})
+	copy(m.live[i+1:], m.live[i:])
+	m.live[i] = b
 }
 
-func (m *Memory) removeBase(base int64) {
-	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] >= base })
-	if i < len(m.bases) && m.bases[i] == base {
-		m.bases = append(m.bases[:i], m.bases[i+1:]...)
+// findLive returns the index of the live block based exactly at base,
+// or -1. Called with m.mu held (either mode).
+func (m *Memory) findLive(base int64) int {
+	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base >= base })
+	if i < len(m.live) && m.live[i].Base == base {
+		return i
 	}
+	return -1
 }
 
 // insertFree adds a free block, coalescing with neighbors.
@@ -372,12 +381,11 @@ func (m *Memory) insertFree(b Block) {
 func (m *Memory) Block(addr int64) (Block, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	i := sort.Search(len(m.bases), func(i int) bool { return m.bases[i] > addr })
+	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base > addr })
 	if i == 0 {
 		return Block{}, false
 	}
-	b := m.live[m.bases[i-1]]
-	if addr < b.End() {
+	if b := m.live[i-1]; addr < b.End() {
 		return b, true
 	}
 	return Block{}, false

@@ -1,6 +1,9 @@
 package mem
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkAllocZeroing measures allocation of large blocks, which is
 // dominated by zeroing the returned memory. Alloc zeroes with clear()
@@ -57,6 +60,34 @@ func fragment(b *testing.B, policy ScanPolicy) *Memory {
 		}
 	}
 	return m
+}
+
+// BenchmarkBlockLookup measures interior-pointer containment lookups
+// against a heap of many live blocks — the "heap prefix" walk the
+// runtime-privatization baseline performs on every guarded access. The
+// block counts bracket the bench-scale workloads' live heaps. Lookups
+// alternate between hits spread across the whole index and misses past
+// the last block, defeating any single-entry caching.
+func BenchmarkBlockLookup(b *testing.B) {
+	for _, nblocks := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("blocks=%d", nblocks), func(b *testing.B) {
+			m := New(int64(nblocks)*64 + 1<<20)
+			bases := make([]int64, nblocks)
+			for i := range bases {
+				a, err := m.Alloc(32, 1, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				bases[i] = a
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := m.Block(bases[i%nblocks] + 17); !ok {
+					b.Fatal("missing block")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFragmentedAlloc allocates large blocks from a fragmented

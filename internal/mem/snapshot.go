@@ -57,8 +57,7 @@ type snapState struct {
 type Snapshot struct {
 	st *snapState
 
-	live          map[int64]Block
-	bases         []int64
+	live          []Block
 	freeList      []Block
 	cursor        int64
 	liveBytes     int64
@@ -119,8 +118,7 @@ func (m *Memory) BeginSnapshot() *Snapshot {
 		st: &snapState{
 			flags: make([]atomic.Uint32, (int64(len(m.data))+snapPageSize-1)>>snapPageBits),
 		},
-		live:          make(map[int64]Block, len(m.live)),
-		bases:         append([]int64(nil), m.bases...),
+		live:          append([]Block(nil), m.live...),
 		freeList:      append([]Block(nil), m.freeList...),
 		cursor:        m.cursor,
 		liveBytes:     m.liveBytes,
@@ -129,9 +127,6 @@ func (m *Memory) BeginSnapshot() *Snapshot {
 		highWaterData: m.highWaterData,
 		allocs:        m.allocs,
 		failAt:        m.failAt,
-	}
-	for k, v := range m.live {
-		s.live[k] = v
 	}
 	m.snap = s.st
 	return s
@@ -177,7 +172,6 @@ func (m *Memory) Rollback(s *Snapshot) (pages int, bytes int64) {
 		copy(m.data[p.base:p.base+int64(len(p.data))], p.data)
 	}
 	m.live = s.live
-	m.bases = s.bases
 	m.freeList = s.freeList
 	m.cursor = s.cursor
 	m.liveBytes = s.liveBytes

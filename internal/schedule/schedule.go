@@ -150,7 +150,7 @@ func simulateStatic(tr *interp.LoopTrace, n int, m Model) Breakdown {
 	var maxT int64
 	busyPer := make([]int64, n)
 	for t := 0; t < n; t++ {
-		lo := int64(t)*chunk + min64(int64(t), rem)
+		lo := int64(t)*chunk + min(int64(t), rem)
 		hi := lo + chunk
 		if int64(t) < rem {
 			hi++
@@ -237,12 +237,6 @@ func simulateDynamic(tr *interp.LoopTrace, n int, m Model) Breakdown {
 	return b
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // ProgramTime computes the simulated execution time of a whole traced
 // run with n threads: the sequential ops outside parallel loops plus

@@ -48,6 +48,12 @@ func (c *checker) record(e ast.Expr, acc *ast.Access, ctx valueCtx) {
 		acc.Load = add(false)
 		acc.Store = add(true)
 	case addrCtx:
+		// Address formation is not itself an access, but it pins the
+		// variable: once its address escapes, every aliasing load and
+		// store must go through simulated memory.
+		if id, ok := e.(*ast.Ident); ok && id.Sym != nil {
+			id.Sym.AddrTaken = true
+		}
 	}
 }
 
