@@ -9,9 +9,10 @@
 //	gdsxbench [-scale test|profile|bench] [-engine compiled|tree] [-exp all|table4|table5|fig8|...|fig14]
 //	gdsxbench -bench-engines [-scale ...] [-o BENCH_engine.json]
 //	gdsxbench -bench-opt [-quick] [-scale ...] [-o BENCH_opt.json]
-//	gdsxbench -guard [-scale ...] [-o BENCH_guard.json]
+//	gdsxbench -guard [-quick] [-scale ...] [-o BENCH_guard.json]
 //	gdsxbench -recovery [-scale ...] [-o BENCH_recovery.json]
 //	gdsxbench -obs [-quick] [-scale ...] [-o BENCH_obs.json]
+//	gdsxbench -sched [-scale ...] [-o BENCH_sched.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
@@ -22,14 +23,21 @@
 // than 5% against the matching rows of the checked-in BENCH_opt.json. The -guard mode measures the
 // guarded-execution monitor's overhead on violation-free parallel runs
 // (use -scale profile: the monitor logs every access, so bench-scale
-// inputs need log memory proportional to their operation count). The
+// inputs need log memory proportional to their operation count);
+// -guard -quick is the CI smoke variant, which measures a workload
+// subset and exits nonzero when the geomean overhead regresses more
+// than 5% against the matching rows of the checked-in BENCH_guard.json. The
 // -recovery mode compares region rollback-and-resume against the
 // whole-program fallback on the violating adversarial inputs, and
 // measures the region-snapshot overhead on violation-free runs. The
 // -obs mode measures the observability layer's wall-clock overhead on
 // expanded parallel runs; -quick is the CI smoke variant (few
 // workloads, no hot-profiler configuration) that exits nonzero when
-// the geomean overhead exceeds 15%.
+// the geomean overhead exceeds 15%. The -sched mode replays the traced
+// workloads through the schedule simulator under both DOALL dispatch
+// policies (static chunking vs work stealing) and writes the scaling
+// curves; the numbers are deterministic operation counts, so the JSON
+// is stable across hosts.
 //
 // With -http ADDR, any mode also serves expvar (including the live
 // gdsx metrics registry under the "gdsx" variable) and net/http/pprof
@@ -69,11 +77,15 @@ func main() {
 			" no-violation snapshot overhead, and write JSON")
 	benchObs := flag.Bool("obs", false,
 		"measure observability-layer overhead on expanded parallel runs and write JSON")
+	benchSched := flag.Bool("sched", false,
+		"simulate DOALL scheduler scaling (static vs work-stealing) and write JSON")
 	quick := flag.Bool("quick", false,
 		"with -obs: CI smoke variant — few workloads, no hot-profiler config,"+
 			" nonzero exit when geomean overhead exceeds 15%."+
 			" With -bench-opt: measure the smoke subset and gate against"+
-			" the checked-in BENCH_opt.json")
+			" the checked-in BENCH_opt.json."+
+			" With -guard: measure the smoke subset and gate against"+
+			" the checked-in BENCH_guard.json")
 	httpAddr := flag.String("http", "",
 		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
 			" during the run, e.g. :8080")
@@ -173,13 +185,28 @@ func main() {
 				" bench-scale inputs need gigabytes of log memory. -scale profile"+
 				" is the intended operating point.")
 		}
-		rep, err := h.GuardOverhead()
+		rep, err := h.GuardOverhead(*quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
 			os.Exit(1)
 		}
 		fmt.Print(rep.Render())
+		if *quick {
+			gateGuardRegression(rep, *outFile)
+			return
+		}
 		writeJSON(rep, *outFile, "BENCH_guard.json", "guard overhead", start)
+		return
+	}
+
+	if *benchSched {
+		rep, err := h.SchedScaling()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		writeJSON(rep, *outFile, "BENCH_sched.json", "scheduler scaling", start)
 		return
 	}
 
@@ -263,6 +290,47 @@ func main() {
 	}
 	fmt.Print(rep.RenderPartial())
 	fmt.Fprintf(os.Stderr, "\n(regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// gateGuardRegression compares a quick -guard measurement against the
+// matching rows of the checked-in BENCH_guard.json (or the -o
+// override) and exits nonzero when the geomean overhead grew more than
+// 5%. Guard overhead is lower-is-better (1.0x = free monitor), so the
+// gate direction is inverted relative to gateOptRegression: it catches
+// a change that reintroduces shared-cache-line traffic on the
+// no-violation path, whose signature is the ratio climbing back toward
+// the pre-epoch-buffer multiples.
+func gateGuardRegression(rep *bench.GuardReport, baseFile string) {
+	if baseFile == "" {
+		baseFile = "BENCH_guard.json"
+	}
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	var base bench.GuardReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gdsxbench: %s: %v\n", baseFile, err)
+		os.Exit(1)
+	}
+	var names []string
+	for _, row := range rep.Rows {
+		names = append(names, row.Workload)
+	}
+	want, ok := base.GeomeanOver(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: %s lacks rows for the smoke subset %v\n",
+			baseFile, names)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gdsxbench: quick geomean %.2fx vs checked-in %.2fx (same subset)\n",
+		rep.Geomean, want)
+	if rep.Geomean > want*1.05 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: guard-monitor overhead regressed more"+
+			" than 5%% against %s\n", baseFile)
+		os.Exit(1)
+	}
 }
 
 // gateOptRegression compares a quick -bench-opt measurement against

@@ -89,6 +89,14 @@ type RunOptions struct {
 	// replaying the countdown would fire it at an unrelated allocation
 	// of the re-execution (see GuardedRun).
 	FailAlloc int64
+	// Sched selects the parallel-loop scheduler: SchedStealing (the
+	// default work-stealing dispatch), SchedStatic or SchedDynamic.
+	// Every policy produces identical output, counters and guard
+	// verdicts; only load balance differs.
+	Sched SchedPolicy
+	// DispatchChunk sets the iterations per shared-counter grab for
+	// self-scheduled loops (0 = 1, the paper's DOACROSS chunk size).
+	DispatchChunk int
 	// Hooks intercept execution (profiling, runtime privatization).
 	Hooks *interp.Hooks
 	// Engine selects the execution engine. The zero value is
@@ -169,6 +177,25 @@ const (
 	EngineCompiledNoOpt = interp.EngineCompiledNoOpt
 )
 
+// SchedPolicy re-exports the interpreter's scheduler selector.
+type SchedPolicy = interp.SchedPolicy
+
+// Parallel-loop scheduling policies.
+const (
+	// SchedStealing dispatches DOALL iterations through per-worker
+	// work-stealing deques and DOACROSS iterations through chunked
+	// self-scheduling (the default).
+	SchedStealing = interp.SchedStealing
+	// SchedStatic uses contiguous static chunks for every loop.
+	SchedStatic = interp.SchedStatic
+	// SchedDynamic self-schedules every loop from a shared counter.
+	SchedDynamic = interp.SchedDynamic
+)
+
+// SchedFromString parses a scheduler name ("stealing", "static",
+// "dynamic", or "" for the default).
+func SchedFromString(s string) (SchedPolicy, bool) { return interp.SchedFromString(s) }
+
 // OptLevel re-exports the compiled engine's optimization selector.
 type OptLevel = interp.OptLevel
 
@@ -207,6 +234,8 @@ func (o RunOptions) interpOptions() interp.Options {
 		MaxOps:          o.MaxOps,
 		MemLimit:        o.MemLimit,
 		FailAlloc:       o.FailAlloc,
+		Sched:           o.Sched,
+		DispatchChunk:   o.DispatchChunk,
 		Hooks:           o.Hooks,
 		Engine:          o.Engine,
 		Opt:             o.Opt,

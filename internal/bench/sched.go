@@ -1,0 +1,131 @@
+package bench
+
+// Scheduler scaling: how the two DOALL dispatch policies — static
+// chunking and work stealing — scale with simulated core count. The
+// numbers come from the deterministic schedule simulator over the
+// workloads' traced per-iteration costs, so the report is identical on
+// any host and safe to check in (BENCH_sched.json). DOACROSS loops
+// always use the ordered chunk-1 pipeline regardless of policy; a
+// DOACROSS-dominated workload (dijkstra) is included deliberately so
+// the report shows where stealing does not apply.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gdsx/internal/interp"
+	"gdsx/internal/schedule"
+	"gdsx/internal/workloads"
+)
+
+// SchedWorkloads are the workloads the scaling report measures: md5 is
+// DOALL-dominated (the policy comparison is meaningful), dijkstra is
+// DOACROSS-dominated (both policies degenerate to the ordered
+// pipeline, included as the honest negative control).
+var SchedWorkloads = []string{"dijkstra", "md5"}
+
+// SchedThreads are the simulated core counts of the scaling sweep.
+var SchedThreads = []int{1, 2, 4, 8, 16}
+
+// SchedRow is one workload's loop-speedup curves. Speedups are the
+// traced sequential loop ops divided by the simulated parallel loop
+// makespan, as in Figure 11. The first pair uses the full machine
+// model, where both policies saturate at the memory-bandwidth bound;
+// the NoBW pair lifts the bandwidth bounds (MemBandwidth and
+// SharedCacheBW zero) to isolate what the dispatch policy itself
+// costs — near-linear scaling to 16 threads must show up there or the
+// scheduler is the bottleneck.
+type SchedRow struct {
+	Workload     string          `json:"workload"`
+	Kinds        string          `json:"kinds"` // parallel-loop kinds present
+	Static       map[int]float64 `json:"static"`
+	Stealing     map[int]float64 `json:"stealing"`
+	StaticNoBW   map[int]float64 `json:"static_nobw"`
+	StealingNoBW map[int]float64 `json:"stealing_nobw"`
+}
+
+// SchedReport is the full scaling comparison, serialized to
+// BENCH_sched.json by gdsxbench -sched.
+type SchedReport struct {
+	Scale   string     `json:"scale"`
+	Threads []int      `json:"threads"`
+	Rows    []SchedRow `json:"rows"`
+}
+
+// SchedScaling simulates every SchedWorkloads loop trace at each
+// SchedThreads count under PolicyStatic and PolicyStealing.
+func (h *Harness) SchedScaling() (*SchedReport, error) {
+	rep := &SchedReport{Scale: scaleName(h.cfg.Scale), Threads: SchedThreads}
+	models := [4]schedule.Model{h.cfg.Model, h.cfg.Model, h.cfg.Model, h.cfg.Model}
+	models[1].Policy = schedule.PolicyStealing
+	models[2].MemBandwidth, models[2].SharedCacheBW = 0, 0
+	models[3].MemBandwidth, models[3].SharedCacheBW = 0, 0
+	models[3].Policy = schedule.PolicyStealing
+	for _, name := range SchedWorkloads {
+		d, err := h.Data(workloads.ByName(name))
+		if err != nil {
+			return nil, err
+		}
+		row := SchedRow{Workload: name, Kinds: traceKinds(d.opt.Traces)}
+		curves := [4]*map[int]float64{&row.Static, &row.Stealing, &row.StaticNoBW, &row.StealingNoBW}
+		nativeLoop := float64(loopOps(d.native))
+		for i, m := range models {
+			c := map[int]float64{}
+			for _, n := range SchedThreads {
+				var agg schedule.Breakdown
+				for _, tr := range d.opt.Traces {
+					agg.Add(schedule.Simulate(tr, n, m))
+				}
+				c[n] = nativeLoop / float64(agg.Time)
+			}
+			*curves[i] = c
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// traceKinds summarizes the distinct parallel-loop kinds of a run's
+// traces, e.g. "DOALL" or "DOALL+DOACROSS".
+func traceKinds(traces []*interp.LoopTrace) string {
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		seen[tr.Kind.String()] = true
+	}
+	kinds := make([]string, 0, len(seen))
+	for k := range seen {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, "+")
+}
+
+// Render formats the scaling report as a text table.
+func (r *SchedReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DOALL scheduler scaling (simulated loop speedup, %s scale)\n", r.Scale)
+	fmt.Fprintf(&b, "%-14s %-16s %-13s", "workload", "kinds", "policy")
+	for _, n := range r.Threads {
+		fmt.Fprintf(&b, " %7s", fmt.Sprintf("n=%d", n))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		for _, pol := range []struct {
+			name string
+			s    map[int]float64
+		}{
+			{"static", row.Static}, {"stealing", row.Stealing},
+			{"static/nobw", row.StaticNoBW}, {"stealing/nobw", row.StealingNoBW},
+		} {
+			fmt.Fprintf(&b, "%-14s %-16s %-13s", row.Workload, row.Kinds, pol.name)
+			for _, n := range r.Threads {
+				fmt.Fprintf(&b, " %6.2fx", pol.s[n])
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("(nobw lifts the model's memory-bandwidth bounds to isolate dispatch cost;\n" +
+		" DOACROSS loops use the ordered chunk-1 pipeline under either policy.)\n")
+	return b.String()
+}

@@ -17,9 +17,11 @@
 // access-site identities to survive the source-to-source rewrite.
 //
 // During a parallel region every thread appends its sited accesses to
-// a private log. At the region's end — the safe point — the logs are
-// merged in iteration order (reconstructing the sequential schedule)
-// and replayed against two byte-granular shadows:
+// a private log of fixed-size pooled chunks — the no-violation path
+// takes zero shared-cache-line writes. At the region's end — the safe
+// point — the logs are merged in iteration order (reconstructing the
+// sequential schedule, under any scheduling policy) and replayed
+// against two byte-granular shadows:
 //
 //   - a canonical shadow, indexed by de-expanded addresses, which
 //     detects reads whose sequential data source was another
@@ -73,6 +75,17 @@ type Config struct {
 	// report (the total count is always exact). Default 16.
 	MaxViolations int
 
+	// CheckOwnStack makes the monitor log the accesses parallel workers
+	// make to their own stacks instead of waiving them as thread-private
+	// (per-thread stacks are disjoint address ranges that live exactly
+	// as long as the region, so the Definition 5 classification rules
+	// them out before expansion ever runs). The waiver removes the bulk
+	// of the in-region log volume; the one behaviour it gives up is
+	// attribution through an escaped stack local where the owning
+	// thread's side of the conflict is the waived access. Enable for
+	// exhaustive logs when debugging such a case.
+	CheckOwnStack bool
+
 	// Obs optionally receives the monitor's observability feed: a
 	// guard-verdict trace event per safe-point replay, per-thread
 	// log-size histograms, and replay/violation counters. Nil disables
@@ -104,13 +117,52 @@ type Monitor struct {
 	active      bool
 	loop        int
 	nthreads    int
-	logs        [][]interp.Access
+	tlogs       []tlog
 	regionNotes []note
+
+	// chunkPool recycles sealed log chunks across regions (guarded by
+	// mu); steady-state logging allocates nothing.
+	chunkPool [][]interp.Access
+
+	// Replay scratch, reused across safe points: the merged event
+	// buffer, the segment table it is built from, and the two shadows,
+	// whose epoch tag makes prior regions' contents invisible without
+	// clearing a byte.
+	merged []interp.Access
+	seqs   []int32
+	segs   []logSeg
+	raw    shadow
+	can    shadow
+	epoch  uint32
 
 	// reports accumulates every violation the monitor detected, in
 	// region order. With region-scoped recovery a run can survive
 	// several violating regions, so one run may collect several reports.
 	reports []*Report
+}
+
+// logChunkCap is the event capacity of one log chunk. Fixed-size
+// chunks replace a growing slice so logging never pays the copy-and-
+// clear of slice growth: a full chunk is sealed and a fresh one drawn
+// from the pool.
+const logChunkCap = 4096
+
+// tlog is one thread's append-only access log: the active chunk plus
+// the sealed chunks preceding it. Only the owning thread appends, so
+// the append path is lock-free; the monitor's mutex is taken once per
+// logChunkCap events to draw a chunk from the pool.
+type tlog struct {
+	cur  []interp.Access
+	full [][]interp.Access
+}
+
+// count returns the number of events the log holds.
+func (l *tlog) count() int {
+	n := len(l.cur)
+	for _, c := range l.full {
+		n += len(c)
+	}
+	return n
 }
 
 // New creates a Monitor.
@@ -127,7 +179,16 @@ func New(cfg Config) *Monitor {
 // Hooks returns the interpreter hooks that feed the monitor.
 func (m *Monitor) Hooks() *interp.Hooks {
 	return &interp.Hooks{
-		Observe:        m.observe,
+		Observe: m.observe,
+		// The monitor checks cross-iteration effects, which exist only
+		// inside parallel regions: RegionOnly lets the engines keep the
+		// sequential fast path (including register promotion) between
+		// regions instead of funnelling every access through the hook.
+		RegionOnly: true,
+		// A worker's own stack is thread-private by construction, so
+		// those accesses can neither conflict across threads nor alias
+		// an expanded structure; see Config.CheckOwnStack.
+		PrivateStacks:  !m.cfg.CheckOwnStack,
 		Expand:         m.noteExpand,
 		Free:           m.free,
 		ParallelStart:  m.parallelStart,
@@ -181,22 +242,63 @@ func (m *Monitor) free(base int64) {
 
 func (m *Monitor) parallelStart(loopID, nthreads int) {
 	m.mu.Lock()
-	m.regionNotes = append([]note(nil), m.notes...)
+	m.regionNotes = append(m.regionNotes[:0], m.notes...)
 	m.mu.Unlock()
 	m.loop = loopID
 	m.nthreads = nthreads
-	m.logs = make([][]interp.Access, nthreads)
+	if cap(m.tlogs) >= nthreads {
+		m.tlogs = m.tlogs[:nthreads]
+	} else {
+		m.tlogs = make([]tlog, nthreads)
+	}
 	m.active = true
 }
 
 // observe appends the access to the observing thread's log. Each
-// worker owns its slot, so no synchronization is needed; outside a
-// parallel region the monitor is inert.
+// worker owns its slot, so the append path is synchronization-free;
+// outside a parallel region the monitor is inert.
 func (m *Monitor) observe(ev interp.Access) {
-	if !m.active || ev.Tid >= len(m.logs) {
+	if !m.active || ev.Tid >= len(m.tlogs) {
 		return
 	}
-	m.logs[ev.Tid] = append(m.logs[ev.Tid], ev)
+	l := &m.tlogs[ev.Tid]
+	if len(l.cur) == cap(l.cur) {
+		if l.cur != nil {
+			l.full = append(l.full, l.cur)
+		}
+		l.cur = m.getChunk()
+	}
+	l.cur = append(l.cur, ev)
+}
+
+// getChunk draws an empty chunk from the pool (or allocates one).
+func (m *Monitor) getChunk() []interp.Access {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := len(m.chunkPool); n > 0 {
+		c := m.chunkPool[n-1]
+		m.chunkPool = m.chunkPool[:n-1]
+		return c
+	}
+	return make([]interp.Access, 0, logChunkCap)
+}
+
+// recycleLogs returns every chunk of the region's logs to the pool and
+// resets the per-thread logs. It runs before a violation abort
+// unwinds, so the chunks never leak.
+func (m *Monitor) recycleLogs() {
+	m.mu.Lock()
+	for i := range m.tlogs {
+		l := &m.tlogs[i]
+		for _, c := range l.full {
+			m.chunkPool = append(m.chunkPool, c[:0])
+		}
+		if l.cur != nil {
+			m.chunkPool = append(m.chunkPool, l.cur[:0])
+		}
+		l.cur, l.full = nil, nil
+	}
+	m.mu.Unlock()
 }
 
 // parallelEnd is the safe point: replay the region's logs and abort
@@ -209,10 +311,9 @@ func (m *Monitor) parallelEnd(loopID int) {
 		return
 	}
 	m.active = false
-	logs := m.logs
-	m.logs = nil
-	rep := m.replay(logs)
-	m.emitVerdict(loopID, logs, rep)
+	rep := m.replay()
+	m.emitVerdict(loopID, rep)
+	m.recycleLogs()
 	if rep != nil {
 		m.reports = append(m.reports, rep)
 		panic(interp.Abort{Err: &ViolationError{Report: rep}})
@@ -224,16 +325,17 @@ func (m *Monitor) parallelEnd(loopID int) {
 // violation's rule) plus replay/log-size/violation metrics. It runs
 // before the violation panic, so an aborted region's verdict is still
 // recorded.
-func (m *Monitor) emitVerdict(loopID int, logs [][]interp.Access, rep *Report) {
+func (m *Monitor) emitVerdict(loopID int, rep *Report) {
 	o := m.cfg.Obs
 	if o == nil {
 		return
 	}
 	var logged int64
 	hLog := o.Histogram("guard.log_size")
-	for _, l := range logs {
-		logged += int64(len(l))
-		hLog.Observe(int64(len(l)))
+	for i := range m.tlogs {
+		n := int64(m.tlogs[i].count())
+		logged += n
+		hLog.Observe(n)
 	}
 	o.Counter("guard.replays").Inc()
 	o.Counter("guard.events_logged").Add(logged)
@@ -260,7 +362,7 @@ func (m *Monitor) parallelCancel(loopID int) {
 		return
 	}
 	m.active = false
-	m.logs = nil
+	m.recycleLogs()
 	if o := m.cfg.Obs; o != nil {
 		o.Counter("guard.discarded_regions").Inc()
 		o.Emit(obs.Event{Name: "guard-verdict", Ph: 'i', Loop: loopID, Iter: -1,

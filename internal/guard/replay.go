@@ -1,6 +1,8 @@
 package guard
 
 import (
+	"sort"
+
 	"gdsx/internal/ddg"
 	"gdsx/internal/interp"
 )
@@ -14,67 +16,139 @@ const (
 
 // shadowCell stores 1-based indices into the merged event slice of the
 // last write and last read that touched the byte; 0 means none since
-// the last definition.
+// the last definition. wm tracks the write that physically survives at
+// the byte under same-thread out-of-order execution: among a run of
+// writes by one thread it is the one with the latest execution order
+// (largest seq), which under work stealing need not be the last one in
+// iteration order. ep tags the replay epoch the indices belong to: a
+// cell written in an earlier epoch reads as empty, which lets the
+// shadows persist across safe points without ever being cleared.
 type shadowCell struct {
-	w, r int32
+	w, r, wm int32
+	ep       uint32
 }
 
+// shadow is a flat page table over the simulated address space
+// (observed addresses are bounds-checked before the hook fires, so
+// they index the table directly). Pages allocate on first touch and
+// live for the monitor's lifetime; the epoch tag makes prior regions'
+// contents invisible, so a replay touches exactly the bytes it checks
+// and pays nothing to reset state between regions.
 type shadow struct {
-	pages map[int64]*[pageSize]shadowCell
+	pages []*[pageSize]shadowCell
 }
 
-func newShadow() *shadow { return &shadow{pages: map[int64]*[pageSize]shadowCell{}} }
-
-func (s *shadow) cell(addr int64) *shadowCell {
-	p := s.pages[addr>>pageBits]
+func (s *shadow) cell(addr int64, ep uint32) *shadowCell {
+	idx := addr >> pageBits
+	if idx >= int64(len(s.pages)) {
+		grown := make([]*[pageSize]shadowCell, idx+1)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	p := s.pages[idx]
 	if p == nil {
 		p = new([pageSize]shadowCell)
-		s.pages[addr>>pageBits] = p
+		s.pages[idx] = p
 	}
-	return &p[addr&pageMask]
+	c := &p[addr&pageMask]
+	if c.ep != ep {
+		*c = shadowCell{ep: ep}
+	}
+	return c
 }
 
-// mergeLogs interleaves the per-thread logs by iteration number,
-// reconstructing the sequential schedule: iterations partition across
-// threads and each thread logs its iterations in increasing order, so
-// a k-way merge on Iter (ties broken by thread, for pre-loop setup
-// events) is a stable sequential ordering.
-func mergeLogs(logs [][]interp.Access) []interp.Access {
+// logSeg is a run of consecutive events one thread logged for one
+// iteration — a zero-copy subslice of a log chunk. seq orders a
+// thread's segments by logging time, so sorting by (iter, tid, seq)
+// reconstructs the sequential schedule even when work stealing makes
+// a thread's iteration numbers non-monotonic.
+type logSeg struct {
+	iter int64
+	tid  int
+	seq  int
+	evs  []interp.Access
+}
+
+// mergeLogs rebuilds the sequential schedule from the per-thread logs
+// into m.merged (reused across safe points): split every chunk into
+// per-iteration segments, sort the segments by (iteration, thread,
+// per-thread order), and concatenate. Ties on iteration go to the
+// lowest thread id — the order the old k-way merge over statically
+// scheduled logs produced. Alongside the merged events it fills
+// m.seqs with each event's per-thread segment ordinal, which records
+// the thread's true program order: under work stealing a thread may
+// execute its iterations out of iteration order, and the replay's
+// same-thread serialization excuse must check the order the thread
+// actually ran, not the order the merge reconstructs.
+func (m *Monitor) mergeLogs() []interp.Access {
+	segs := m.segs[:0]
 	total := 0
-	for _, l := range logs {
-		total += len(l)
-	}
-	merged := make([]interp.Access, 0, total)
-	idx := make([]int, len(logs))
-	for {
-		best := -1
-		for t := range logs {
-			if idx[t] >= len(logs[t]) {
-				continue
-			}
-			if best < 0 || logs[t][idx[t]].Iter < logs[best][idx[best]].Iter {
-				best = t
+	for t := range m.tlogs {
+		l := &m.tlogs[t]
+		seq := 0
+		addChunk := func(c []interp.Access) {
+			total += len(c)
+			for len(c) > 0 {
+				iter := c[0].Iter
+				i := 1
+				for i < len(c) && c[i].Iter == iter {
+					i++
+				}
+				segs = append(segs, logSeg{iter: iter, tid: t, seq: seq, evs: c[:i]})
+				seq++
+				c = c[i:]
 			}
 		}
-		if best < 0 {
-			return merged
+		for _, c := range l.full {
+			addChunk(c)
 		}
-		merged = append(merged, logs[best][idx[best]])
-		idx[best]++
+		addChunk(l.cur)
 	}
+	sort.Slice(segs, func(i, j int) bool {
+		a, b := &segs[i], &segs[j]
+		if a.iter != b.iter {
+			return a.iter < b.iter
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		return a.seq < b.seq
+	})
+	m.segs = segs
+	if cap(m.merged) < total {
+		m.merged = make([]interp.Access, 0, total)
+		m.seqs = make([]int32, 0, total)
+	}
+	merged, seqs := m.merged[:0], m.seqs[:0]
+	for _, s := range segs {
+		merged = append(merged, s.evs...)
+		for range s.evs {
+			seqs = append(seqs, int32(s.seq))
+		}
+	}
+	m.merged, m.seqs = merged, seqs
+	return merged
 }
 
 // replay checks one region's logs and returns a report, or nil when
-// the region is violation-free.
-func (m *Monitor) replay(logs [][]interp.Access) *Report {
-	merged := mergeLogs(logs)
+// the region is violation-free. Everything it reads from the logs is
+// copied into the report before it returns, so the caller may recycle
+// the log chunks immediately.
+func (m *Monitor) replay() *Report {
+	merged := m.mergeLogs()
 	if len(merged) == 0 {
 		return nil
 	}
 	nt := m.cfg.Threads
 	notes := append([]note(nil), m.regionNotes...)
-	raw := newShadow()
-	can := newShadow()
+	m.epoch++
+	if m.epoch == 0 {
+		// Epoch wrap: drop the pages so a stale tag cannot collide.
+		m.raw.pages, m.can.pages = nil, nil
+		m.epoch = 1
+	}
+	ep := m.epoch
+	raw, can := &m.raw, &m.can
 	g := m.cfg.Graphs[m.loop]
 
 	rep := &Report{Loop: m.loop, Threads: m.nthreads}
@@ -99,10 +173,10 @@ func (m *Monitor) replay(logs [][]interp.Access) *Report {
 			// Fresh storage: kill the byte history and any stale
 			// expansion note the addresses shadow.
 			for a := ev.Addr; a < ev.Addr+ev.Size; a++ {
-				c := raw.cell(a)
-				c.w, c.r = 0, 0
+				c := raw.cell(a, ep)
+				c.w, c.r, c.wm = 0, 0, 0
 				if cn, _, ok := canonical(notes, nt, a); ok {
-					cc := can.cell(cn)
+					cc := can.cell(cn, ep)
 					cc.w, cc.r = 0, 0
 				}
 			}
@@ -113,22 +187,43 @@ func (m *Monitor) replay(logs [][]interp.Access) *Report {
 		// otherwise multiply-count a single bad access.
 		var flagged [4]bool
 		for a := ev.Addr; a < ev.Addr+ev.Size; a++ {
-			rc := raw.cell(a)
+			rc := raw.cell(a, ep)
+			cn, cp, inExp := canonical(notes, nt, a)
 
-			// Raw shadow: unsynchronized cross-thread conflicts (V4).
+			// Raw shadow: unsynchronized conflicts (V4) — cross-thread
+			// pairs no ordered section serializes, and same-thread pairs
+			// a stolen out-of-order execution failed to serialize.
 			check := func(prev int32, kind int) {
 				if prev == 0 || flagged[3] {
 					return
 				}
 				p := &merged[prev-1]
-				if p.Iter == ev.Iter || p.Tid == ev.Tid {
-					return // same iteration or thread program order
+				if p.Iter == ev.Iter {
+					return // same iteration: executed by one thread
 				}
-				if p.Ordered && ev.Ordered {
-					return // both inside the ordered section: serialized
-				}
-				if g != nil && edgeProfiled(g, p, &ev, kind) {
-					return // a dependence the profile already knew
+				if p.Tid == ev.Tid {
+					if m.seqs[prev-1] < m.seqs[i] {
+						return // the thread really executed p first
+					}
+					// Out of iteration order: a stolen range ran this
+					// thread's later iteration first. A write-write pair
+					// inside an expanded structure is still harmless —
+					// the classification proved the structure dead after
+					// the region, and a read observing the wrong
+					// survivor is caught through the read's own checks
+					// below — but a pair involving a read saw (or
+					// exposed) a wrong value, and live-out shared state
+					// depends on write order.
+					if kind == kindOutput && inExp {
+						return
+					}
+				} else {
+					if p.Ordered && ev.Ordered {
+						return // both inside the ordered section: serialized
+					}
+					if g != nil && edgeProfiled(g, p, &ev, kind) {
+						return // a dependence the profile already knew
+					}
 				}
 				flagged[3] = true
 				record(RuleConflict, ev, a, -1, p)
@@ -138,11 +233,23 @@ func (m *Monitor) replay(logs [][]interp.Access) *Report {
 				check(rc.r, kindAnti)
 			} else {
 				check(rc.w, kindFlow)
+				// The sequential data source rc.w may have executed in
+				// order, yet an iteration-earlier write of the same
+				// thread executed after it and physically holds the byte
+				// when this read runs.
+				if !flagged[3] && rc.w != 0 && rc.wm != 0 && rc.wm != rc.w {
+					pm, pw := &merged[rc.wm-1], &merged[rc.w-1]
+					if pm.Tid == ev.Tid && pw.Tid == ev.Tid &&
+						pm.Iter != ev.Iter && m.seqs[rc.wm-1] < m.seqs[i] {
+						flagged[3] = true
+						record(RuleConflict, ev, a, -1, pm)
+					}
+				}
 			}
 
 			// Canonical shadow: expansion-semantics checks (V1–V3).
-			if cn, cp, ok := canonical(notes, nt, a); ok {
-				cc := can.cell(cn)
+			if inExp {
+				cc := can.cell(cn, ep)
 				if cp != 0 && cp != ev.Tid && !flagged[2] {
 					// V3: a copy belonging to another thread.
 					var other *interp.Access
@@ -180,8 +287,18 @@ func (m *Monitor) replay(logs [][]interp.Access) *Report {
 				}
 			}
 
-			// Update the raw shadow after the checks.
+			// Update the raw shadow after the checks. wm keeps the write
+			// that physically survives: within one thread the larger seq
+			// executed later (equal seq = same segment, where replay
+			// order is execution order); a write from another thread has
+			// no comparable order and just becomes the new baseline.
 			if ev.Store {
+				if rc.wm == 0 {
+					rc.wm = id
+				} else if pm := &merged[rc.wm-1]; pm.Tid != ev.Tid ||
+					m.seqs[rc.wm-1] <= m.seqs[i] {
+					rc.wm = id
+				}
 				rc.w = id
 			} else {
 				rc.r = id

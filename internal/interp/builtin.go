@@ -26,7 +26,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 			if h.Store != nil && t.isMain {
 				h.Store(x.Acc.Store, base, size)
 			}
-			if h.Observe != nil {
+			if h.Observe != nil && t.observeOK(h, base, size) {
 				h.Observe(Access{Site: x.Acc.Store, Addr: base, Size: size, Tid: t.tid,
 					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
 			}
@@ -36,7 +36,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 	switch sym.Builtin {
 	case ast.BMalloc:
 		n := arg(0).I
-		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		a, err := t.m.mem.AllocOn(t.allocTid(), n, x.AllocSite, "")
 		if err != nil {
 			rterrf(x.Pos(), "%v", err)
 		}
@@ -44,7 +44,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 		return iv(a)
 	case ast.BCalloc:
 		n := arg(0).I * arg(1).I
-		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		a, err := t.m.mem.AllocOn(t.allocTid(), n, x.AllocSite, "")
 		if err != nil {
 			rterrf(x.Pos(), "%v", err)
 		}
@@ -56,7 +56,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 		if h := t.m.opts.Hooks; h != nil && h.Free != nil && p != 0 {
 			h.Free(p)
 		}
-		a, err := t.m.mem.Realloc(p, n, x.AllocSite)
+		a, err := t.m.mem.ReallocOn(t.allocTid(), p, n, x.AllocSite)
 		if err != nil {
 			rterrf(x.Pos(), "%v", err)
 		}
@@ -93,7 +93,7 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 		// NumThreads copies in one block, like the plain expansion.
 		span, esz := arg(0).I, arg(1).I
 		n := span * int64(t.m.opts.NumThreads)
-		a, err := t.m.mem.Alloc(n, x.AllocSite, "")
+		a, err := t.m.mem.AllocOn(t.allocTid(), n, x.AllocSite, "")
 		if err != nil {
 			rterrf(x.Pos(), "%v", err)
 		}

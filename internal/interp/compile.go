@@ -323,7 +323,7 @@ func (c *compiler) loadAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *thr
 		if h.Load != nil && t.isMain {
 			h.Load(site, addr, size)
 		}
-		if h.Observe != nil {
+		if h.Observe != nil && t.observeOK(h, addr, size) {
 			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
 				Iter: t.curIter, Ordered: t.inOrdered})
 		}
@@ -357,7 +357,7 @@ func (c *compiler) storeAcc(pos token.Pos, site int, ty *ctypes.Type) func(t *th
 		if h.Store != nil && t.isMain {
 			h.Store(site, addr, size)
 		}
-		if h.Observe != nil {
+		if h.Observe != nil && t.observeOK(h, addr, size) {
 			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
 				Iter: t.curIter, Store: true, Ordered: t.inOrdered})
 		}

@@ -941,7 +941,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 		return func(t *thread, f *frame) value {
 			t.counters[CatWork]++
 			n := a0(t, f).I
-			a, err := mm.Alloc(n, site, "")
+			a, err := mm.AllocOn(t.allocTid(), n, site, "")
 			if err != nil {
 				rterrf(pos, "%v", err)
 			}
@@ -953,7 +953,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 		return func(t *thread, f *frame) value {
 			t.counters[CatWork]++
 			n := a0(t, f).I * a1(t, f).I
-			a, err := mm.Alloc(n, site, "")
+			a, err := mm.AllocOn(t.allocTid(), n, site, "")
 			if err != nil {
 				rterrf(pos, "%v", err)
 			}
@@ -969,7 +969,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 			if h != nil && h.Free != nil && p != 0 {
 				h.Free(p)
 			}
-			a, err := mm.Realloc(p, n, site)
+			a, err := mm.ReallocOn(t.allocTid(), p, n, site)
 			if err != nil {
 				rterrf(pos, "%v", err)
 			}
@@ -1021,7 +1021,7 @@ func (c *compiler) compileBuiltin(x *ast.Call) cexpr {
 			span := a0(t, f).I
 			esz := a1(t, f).I
 			n := span * nt
-			a, err := mm.Alloc(n, site, "")
+			a, err := mm.AllocOn(t.allocTid(), n, site, "")
 			if err != nil {
 				rterrf(pos, "%v", err)
 			}

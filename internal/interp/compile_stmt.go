@@ -190,7 +190,7 @@ func (c *compiler) compileDecl(d *ast.VarDecl) func(t *thread, f *frame) {
 				if h.Store != nil && t.isMain {
 					h.Store(defSite, a, sz)
 				}
-				if h.Observe != nil {
+				if h.Observe != nil && t.observeOK(h, a, sz) {
 					h.Observe(Access{Site: defSite, Addr: a, Size: sz, Tid: t.tid,
 						Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
 				}
@@ -271,7 +271,7 @@ func (c *compiler) compileDecl(d *ast.VarDecl) func(t *thread, f *frame) {
 			if h.Store != nil && t.isMain {
 				h.Store(defSite, a, size)
 			}
-			if h.Observe != nil {
+			if h.Observe != nil && t.observeOK(h, a, size) {
 				h.Observe(Access{Site: defSite, Addr: a, Size: size, Tid: t.tid,
 					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
 			}

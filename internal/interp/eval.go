@@ -150,7 +150,7 @@ func (t *thread) loadAccess(pos token.Pos, site int, addr int64, ty *ctypes.Type
 		if h.Load != nil && t.isMain {
 			h.Load(site, addr, size)
 		}
-		if h.Observe != nil {
+		if h.Observe != nil && t.observeOK(h, addr, size) {
 			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
 				Iter: t.curIter, Ordered: t.inOrdered})
 		}
@@ -174,7 +174,7 @@ func (t *thread) storeAccess(pos token.Pos, site int, addr int64, ty *ctypes.Typ
 		if h.Store != nil && t.isMain {
 			h.Store(site, addr, size)
 		}
-		if h.Observe != nil {
+		if h.Observe != nil && t.observeOK(h, addr, size) {
 			h.Observe(Access{Site: site, Addr: addr, Size: size, Tid: t.tid,
 				Iter: t.curIter, Store: true, Ordered: t.inOrdered})
 		}

@@ -198,7 +198,7 @@ func (t *thread) execDecl(f *frame, d *ast.VarDecl) {
 		if h.Store != nil && t.isMain {
 			h.Store(d.Acc.Store, a, size)
 		}
-		if h.Observe != nil {
+		if h.Observe != nil && t.observeOK(h, a, size) {
 			h.Observe(Access{Site: d.Acc.Store, Addr: a, Size: size, Tid: t.tid,
 				Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
 		}

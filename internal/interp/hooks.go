@@ -34,6 +34,18 @@ func (h *Hooks) HasAccessHooks() bool {
 		(h.Redirect != nil || h.Load != nil || h.Store != nil || h.Observe != nil)
 }
 
+// regionOnly reports whether every per-access hook in the set declared
+// region-only interest (vacuously true for a set carrying none).
+func (h *Hooks) regionOnly() bool {
+	return !h.HasAccessHooks() || h.RegionOnly
+}
+
+// privateStacks reports whether the set's Observe hook (if any) waived
+// own-stack accesses.
+func (h *Hooks) privateStacks() bool {
+	return h == nil || h.Observe == nil || h.PrivateStacks
+}
+
 func ChainHooks(a, b *Hooks) *Hooks {
 	if a == nil {
 		return b
@@ -41,7 +53,12 @@ func ChainHooks(a, b *Hooks) *Hooks {
 	if b == nil {
 		return a
 	}
-	c := &Hooks{}
+	// The chain's access-path concessions hold only when every layer
+	// that uses the relevant hook made them.
+	c := &Hooks{
+		RegionOnly:    a.regionOnly() && b.regionOnly(),
+		PrivateStacks: a.privateStacks() && b.privateStacks(),
+	}
 	if a.Load != nil || b.Load != nil {
 		af, bf := a.Load, b.Load
 		c.Load = func(site int, addr, size int64) {

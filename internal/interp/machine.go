@@ -71,6 +71,25 @@ type Hooks struct {
 	// the guarded-execution monitor. It also sees definition events
 	// (declarations, allocations, argument binding) with Def set.
 	Observe func(ev Access)
+	// RegionOnly declares that this set's per-access hooks (Redirect/
+	// Load/Store/Observe) only need events from threads executing
+	// inside a parallel region. The engines then keep sequential-
+	// context accesses on the fast path (and re-enable scalar register
+	// promotion, which never applies inside parallel subtrees anyway).
+	// The guard monitor sets it: the monitor is inert between regions.
+	RegionOnly bool
+	// PrivateStacks declares that Observe does not need accesses a
+	// parallel worker makes to its own stack region. Worker stacks are
+	// disjoint and live for the whole region, so such accesses can
+	// never conflict across threads nor land in an expanded structure
+	// a sequential execution would have shared — they are thread-
+	// private by construction (the paper's Definition 5 classifies
+	// loop-body locals out of consideration before expansion even
+	// runs). Skipping them removes the bulk of the guard's logging
+	// volume. Monitors that want stack-escape conflicts checked too
+	// (one worker publishing a pointer to its own frame and another
+	// dereferencing it) leave this unset and log everything.
+	PrivateStacks bool
 	// Expand observes the __expand_malloc/__expand_note markers the
 	// guarded expansion pass emits: base is the address of copy 0, span
 	// the per-copy size in bytes, esz the element size for interleaved
@@ -128,6 +147,19 @@ type Options struct {
 	// FailAlloc makes the Nth allocation of the run fail (1 = the
 	// first), a fault-injection hook for OOM-robustness tests.
 	FailAlloc int64
+	// Sched selects the parallel-loop scheduler. The zero value is
+	// SchedStealing (work-stealing deques for DOALL, chunked
+	// self-scheduling for DOACROSS); SchedStatic and SchedDynamic keep
+	// the fixed pre-stealing dispatches. All policies produce identical
+	// output, counters and guard semantics — only the iteration-to-
+	// thread assignment (and hence wall-clock balance) differs.
+	Sched SchedPolicy
+	// DispatchChunk is the iteration count per shared-counter grab for
+	// self-scheduled loops (DOACROSS under SchedStealing/SchedDynamic,
+	// DOALL under SchedDynamic). 0 means 1, the paper's chunk size.
+	// Larger chunks amortize dispatch but narrow the ordered-section
+	// pipeline (see the chunk-sweep ablation).
+	DispatchChunk int
 	// Engine selects the execution engine. The zero value is the
 	// closure-compiling engine; EngineTree is the tree-walking
 	// reference implementation (see engine.go).

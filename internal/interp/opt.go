@@ -124,7 +124,14 @@ func newOptConfig(m *Machine) optConfig {
 		return optConfig{}
 	}
 	cfg := optConfig{fuse: true}
-	cfg.promote = m.accessHooks == nil && !m.opts.TraceParallel && m.opts.Obs == nil
+	// An access chain that waived both sequential-context events and
+	// own-stack worker events (the guard monitor) keeps promotion: the
+	// scalars promotion hides are exactly frame slots — sequential-
+	// context ones under RegionOnly, worker-own-stack ones (helpers
+	// called from loop bodies) under PrivateStacks.
+	cfg.promote = (m.accessHooks == nil ||
+		(m.accessHooks.RegionOnly && m.accessHooks.PrivateStacks)) &&
+		!m.opts.TraceParallel && m.opts.Obs == nil
 	if m.accessHooks == nil {
 		cfg.hot = m.opts.OptProfile.hotSet()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gdsx/internal/ast"
+	"gdsx/internal/obs"
 	"gdsx/internal/token"
 )
 
@@ -120,9 +121,12 @@ type bodyFn func(t *thread, f *frame) ctrl
 
 // runParallelFor executes a parallel-annotated for loop with
 // N = Options.NumThreads simulated threads, one goroutine each.
-// DOALL loops use static chunking; DOACROSS loops use dynamic
-// scheduling with chunk size one plus ordered-section tickets, the
-// schedules the paper uses with Gomp (§4.3). init executes the loop
+// Dispatch follows Options.Sched: under the default SchedStealing,
+// DOALL loops run on per-worker work-stealing deques (see sched.go)
+// and DOACROSS loops self-schedule in chunks; SchedStatic restores the
+// paper's Gomp schedules (§4.3) — static chunking for DOALL, dynamic
+// chunk-1 plus ordered-section tickets for DOACROSS — and SchedDynamic
+// self-schedules everything from a shared counter. init executes the loop
 // initializer (nil when the loop has none) and body one iteration's
 // body; seq executes the entire loop sequentially on the calling
 // thread (the engine's sequential-for path), used by region recovery
@@ -231,6 +235,15 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 		order = &orderState{}
 	}
 	var next atomic.Int64 // dynamic-schedule iteration counter
+	chunk := int64(t.m.opts.DispatchChunk)
+	if chunk < 1 {
+		chunk = 1
+	}
+	policy := t.m.opts.Sched
+	var st *stealState
+	if x.Par == ast.DOALL && policy == SchedStealing {
+		st = newStealState(n, nt)
+	}
 
 	workers := make([]*thread, nt)
 	for i := 0; i < nt; i++ {
@@ -282,14 +295,29 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 			// Private induction variable cell on the worker's stack.
 			pvAddr := w.alloca(iv.Type.Size(), x.Pos())
 			wf.slots[iv.Index] = pvAddr
-			if x.Par == ast.DOALL {
+			switch {
+			case x.Par == ast.DOALL && st != nil:
+				w.runStealing(wf, x, lb, pvAddr, st, body)
+			case x.Par == ast.DOALL && policy == SchedStatic:
 				w.runStaticChunk(wf, x, lb, pvAddr, body)
-			} else {
-				w.runDynamic(wf, x, lb, pvAddr, &next, order, body)
+			case x.Par == ast.DOALL:
+				w.runDOALLDynamic(wf, x, lb, pvAddr, &next, chunk, body)
+			case policy == SchedStatic:
+				w.runOrderedStatic(wf, x, lb, pvAddr, order, body)
+			default:
+				w.runDynamic(wf, x, lb, pvAddr, &next, chunk, order, body)
 			}
 		}(i)
 	}
 	wg.Wait()
+	if o := t.m.opts.Obs; o != nil {
+		var steals int64
+		if st != nil {
+			steals = st.steals.Load()
+		}
+		o.Emit(obs.Event{Name: "sched", Ph: 'i', Loop: x.ID, Iter: -1,
+			Label: policy.String(), V1: steals, V2: int64(nt)})
+	}
 
 	for _, w := range workers {
 		w.cancel = nil
@@ -304,8 +332,13 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 			// deferred ParallelEnd above, so a guard monitor still gets
 			// its safe-point check (a detected dependence violation
 			// there takes precedence over the worker fault).
+			// The message names the iteration but not the executing
+			// worker: the iteration is sequential semantics, while the
+			// iteration-to-thread assignment is a scheduling accident
+			// (under work stealing it varies run to run), and fault
+			// messages must be identical across scheduling policies.
 			panic(regionFault{kind: FailFault, err: RuntimeError{Pos: re.Pos,
-				Msg: fmt.Sprintf("%s (parallel worker %d, iteration %d)", re.Msg, fault.tid, fault.iter)}})
+				Msg: fmt.Sprintf("%s (parallel worker, iteration %d)", re.Msg, fault.iter)}})
 		}
 		panic(fault.val) // interpreter bug: propagate unchanged
 	}
@@ -383,10 +416,12 @@ func (w *thread) runStaticChunk(f *frame, x *ast.For, lb loopBounds, pvAddr int6
 	}
 }
 
-// runDynamic executes iterations grabbed one at a time from a shared
-// counter (DOACROSS dynamic scheduling with chunk size 1), entering
-// ordered sections in iteration order via the ticket in order.
-func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, order *orderState, body bodyFn) {
+// runDynamic executes iterations grabbed in chunk-sized pieces from a
+// shared counter (DOACROSS self-scheduling; the paper uses chunk 1),
+// entering ordered sections in iteration order via the ticket in
+// order. Dispatch is charged as one CatSync op per iteration under
+// every chunk size, so counters stay policy-independent.
+func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, next *atomic.Int64, chunk int64, order *orderState, body bodyFn) {
 	w.order = order
 	defer func() { w.order = nil }()
 	var iterStart, iterEnd func(loopID int, iter int64, tid int)
@@ -394,32 +429,35 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 		iterStart, iterEnd = h.IterStart, h.IterEnd
 	}
 	for {
-		k := next.Add(1) - 1
-		if k >= lb.n {
+		lo := next.Add(chunk) - chunk
+		if lo >= lb.n {
 			return
 		}
-		if w.cancel != nil && w.cancel.Load() {
-			return // a sibling worker faulted; stop at the safe point
-		}
-		w.counters[CatSync]++ // one dispatch per iteration
-		w.curIter = k
-		w.posted = false
-		w.inOrdered = false
-		w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
-		if iterStart != nil {
-			iterStart(x.ID, k, w.tid)
-		}
-		c := body(w, f)
-		if iterEnd != nil {
-			iterEnd(x.ID, k, w.tid)
-		}
-		if c == ctrlBreak || c == ctrlReturn {
-			rterrf(x.Pos(), "break/return out of a parallel loop")
-		}
-		// If the ordered section was skipped on this path, post now so
-		// later iterations are not blocked forever.
-		if order != nil && !w.posted {
-			w.syncPost()
+		hi := min(lo+chunk, lb.n)
+		for k := lo; k < hi; k++ {
+			if w.cancel != nil && w.cancel.Load() {
+				return // a sibling worker faulted; stop at the safe point
+			}
+			w.counters[CatSync]++ // one dispatch per iteration
+			w.curIter = k
+			w.posted = false
+			w.inOrdered = false
+			w.storeTyped(pvAddr, x.IndVar.Type, value{I: lb.start + k*lb.step})
+			if iterStart != nil {
+				iterStart(x.ID, k, w.tid)
+			}
+			c := body(w, f)
+			if iterEnd != nil {
+				iterEnd(x.ID, k, w.tid)
+			}
+			if c == ctrlBreak || c == ctrlReturn {
+				rterrf(x.Pos(), "break/return out of a parallel loop")
+			}
+			// If the ordered section was skipped on this path, post now
+			// so later iterations are not blocked forever.
+			if order != nil && !w.posted {
+				w.syncPost()
+			}
 		}
 	}
 }

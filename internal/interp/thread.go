@@ -76,6 +76,18 @@ func (t *thread) release() {
 	_ = t.m.mem.Free(t.stackBase)
 }
 
+// allocTid routes this thread's heap allocations: workers inside a
+// parallel region allocate from their per-thread metadata arena
+// (mem.AllocOn), sequential execution takes the allocator's global
+// path — keeping sequential runs bit-identical to the unsharded
+// allocator.
+func (t *thread) allocTid() int {
+	if t.parallel {
+		return t.tid
+	}
+	return -1
+}
+
 // alloca reserves size bytes on the thread stack, 8-byte aligned.
 func (t *thread) alloca(size int64, pos token.Pos) int64 {
 	size = (size + 7) &^ 7
@@ -127,7 +139,7 @@ func (t *thread) bindArgs(fn *ast.FuncDecl, args []value, pos token.Pos) *frame 
 			if h.Store != nil && t.isMain {
 				h.Store(p.Acc.Store, addr, size)
 			}
-			if h.Observe != nil {
+			if h.Observe != nil && t.observeOK(h, addr, size) {
 				h.Observe(Access{Site: p.Acc.Store, Addr: addr, Size: size, Tid: t.tid,
 					Iter: t.curIter, Store: true, Def: true, Ordered: t.inOrdered})
 			}
@@ -185,6 +197,23 @@ func (t *thread) callCompiled(cf *compiledFunc, args []value, pos token.Pos) val
 }
 
 func (t *thread) count(cat int, n int64) { t.counters[cat] += n }
+
+// observeOK reports whether the hook chain's Observe wants an event
+// from t for [addr, addr+size). Two concessions narrow the feed (see
+// Hooks.RegionOnly and Hooks.PrivateStacks): sequential-context events
+// when every observing layer is region-only, and a worker's accesses
+// to its own stack when every observing layer waived them. Skipped
+// own-stack events include the matching definition events — the
+// addresses are never checked, so their history never needs resetting.
+func (t *thread) observeOK(h *Hooks, addr, size int64) bool {
+	if h.RegionOnly && !t.parallel {
+		return false
+	}
+	if h.PrivateStacks && t.parallel && addr >= t.stackBase && addr+size <= t.stackEnd {
+		return false
+	}
+	return true
+}
 
 // checkAccess validates a memory access against the reserved null page
 // and the capacity of the simulated memory, raising a positioned

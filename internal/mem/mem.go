@@ -9,8 +9,12 @@
 // Loads and stores are unsynchronized, exactly like real memory;
 // correctness of parallel execution relies on the transformation
 // directing different threads to disjoint byte ranges. Allocation
-// metadata is guarded by a lock and supports interior-pointer lookup,
-// which the runtime-privatization baseline uses as its "heap prefix".
+// metadata is sharded: sequential allocations go through a global
+// locked index, while small allocations by parallel-region workers go
+// through per-thread arenas (see shard.go), so in-region malloc/free
+// traffic does not serialize on one lock. Both paths support
+// interior-pointer lookup, which the runtime-privatization baseline
+// uses as its "heap prefix".
 package mem
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gdsx/internal/obs"
 )
@@ -61,27 +66,37 @@ type Memory struct {
 	data []byte
 
 	mu sync.RWMutex
-	// live is the live-block index, sorted by base. One binary search
-	// serves base-exact lookups (Free, Realloc) and interior-pointer
-	// containment (Block) alike; keeping the blocks themselves in the
-	// sorted slice — rather than a sorted base slice pointing into a
-	// map — makes the hot Block lookup a single cache-friendly search
-	// with no hashing, and snapshot capture a flat copy.
-	live      []Block
-	freeList  []Block // sorted by base, coalesced
-	policy    ScanPolicy
-	cursor    int64 // next-fit scan start (address, not index)
-	liveBytes int64
-	highWater int64
-	allocs    int64 // total number of Alloc calls
-	limit     int64 // live-byte cap (0 = capacity only)
-	failAt    int64 // fault injection: fail when the countdown hits 0
+	// live is the global live-block index, sorted by base. One binary
+	// search serves base-exact lookups (Free, Realloc) and
+	// interior-pointer containment (Block) alike; keeping the blocks
+	// themselves in the sorted slice — rather than a sorted base slice
+	// pointing into a map — makes the hot Block lookup a single
+	// cache-friendly search with no hashing, and snapshot capture a
+	// flat copy.
+	live     []Block
+	freeList []Block // sorted by base, coalesced
+	policy   ScanPolicy
+	cursor   int64 // next-fit scan start (address, not index)
+
+	// Accounting is atomic so the sharded allocation path updates it
+	// without m.mu; the global path uses the same fields, and the
+	// sequential values are exactly what the locked counters produced.
+	liveBytes atomic.Int64
+	highWater atomic.Int64
+	allocs    atomic.Int64 // total number of successful allocations
+	limit     atomic.Int64 // live-byte cap (0 = capacity only)
+	failAt    atomic.Int64 // fault injection: fail when the countdown hits 0
 
 	// Data-only accounting, excluding thread stacks: the paper's
 	// Figure 14 measures program data, and Linux's lazy allocation
 	// means unused stack reservations cost nothing there either.
-	liveData      int64
-	highWaterData int64
+	liveData      atomic.Int64
+	highWaterData atomic.Int64
+
+	// shards are the per-thread metadata arenas and slabs the
+	// copy-on-write registry of the address ranges they own (shard.go).
+	shards [numShards]shard
+	slabs  atomic.Pointer[[]slabRange]
 
 	// snap is the active region snapshot's write log, nil outside one.
 	// It is set and cleared only at parallel-region boundaries, which
@@ -124,7 +139,8 @@ func (m *Memory) SetObs(o *obs.Observer) {
 	}
 }
 
-// noteAlloc records a successful allocation; called with m.mu held.
+// noteAlloc records a successful allocation. Every instrument is
+// atomic, so no allocator lock needs to be held.
 func (ob *memObs) noteAlloc(base, size int64, live int64, label string) {
 	ob.cAllocs.Inc()
 	ob.hAllocSz.Observe(size)
@@ -162,9 +178,7 @@ func (m *Memory) SetScanPolicy(p ScanPolicy) {
 // operators bound a program's data footprint below the simulated
 // capacity.
 func (m *Memory) SetLimit(n int64) {
-	m.mu.Lock()
-	m.limit = n
-	m.mu.Unlock()
+	m.limit.Store(n)
 }
 
 // SetFailAlloc arms the fault-injection hook: the nth Alloc call from
@@ -172,9 +186,7 @@ func (m *Memory) SetLimit(n int64) {
 // disarms it. The counter includes every allocation — stacks, interned
 // strings and heap blocks alike.
 func (m *Memory) SetFailAlloc(n int64) {
-	m.mu.Lock()
-	m.failAt = n
-	m.mu.Unlock()
+	m.failAt.Store(n)
 }
 
 const align = 8
@@ -183,24 +195,126 @@ const align = 8
 // returns the base address. site tags heap allocations with their
 // allocation-site ID; label tags everything else.
 func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
+	return m.AllocOn(-1, size, site, label)
+}
+
+// AllocOn reserves like Alloc, additionally routing small requests
+// from parallel-region worker tid to that thread's metadata arena
+// (shard.go). tid < 0 — sequential execution — and any request above
+// shardMaxAlloc take the global path, which behaves bit-identically to
+// the pre-sharding allocator.
+func (m *Memory) AllocOn(tid int, size int64, site int, label string) (int64, error) {
 	if size <= 0 {
 		size = 1
 	}
 	size = (size + align - 1) &^ (align - 1)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.failAt > 0 {
-		m.failAt--
-		if m.failAt == 0 {
-			m.noteOOM(size, "fault-injection")
-			return 0, fmt.Errorf("mem: out of memory allocating %d bytes (fault injection)", size)
-		}
+	if m.tickFail() {
+		m.noteOOM(size, "fault-injection")
+		return 0, fmt.Errorf("mem: out of memory allocating %d bytes (fault injection)", size)
 	}
-	if m.limit > 0 && m.liveBytes+size > m.limit {
+	if !m.reserve(size) {
 		m.noteOOM(size, "limit")
 		return 0, fmt.Errorf("mem: out of memory allocating %d bytes (limit %d, live %d)",
-			size, m.limit, m.liveBytes)
+			size, m.limit.Load(), m.liveBytes.Load())
 	}
+	var base int64
+	var err error
+	if tid >= 0 && size <= shardMaxAlloc {
+		base, err = m.shardAlloc(tid, size, site, label)
+	} else {
+		base, err = m.globalAlloc(size, site, label)
+	}
+	if err != nil {
+		m.liveBytes.Add(-size)
+		m.noteOOM(size, "capacity")
+		return 0, err
+	}
+	m.finishAlloc(base, size, label)
+	return base, nil
+}
+
+// tickFail advances the fault-injection countdown by one allocation
+// and reports whether this is the one that must fail.
+func (m *Memory) tickFail() bool {
+	for {
+		v := m.failAt.Load()
+		if v <= 0 {
+			return false
+		}
+		if m.failAt.CompareAndSwap(v, v-1) {
+			return v == 1
+		}
+	}
+}
+
+// reserve charges size bytes against the live count, enforcing the
+// optional limit exactly even under concurrent allocation: the add
+// happens first and is undone when it overshoots. Callers must
+// un-reserve if the allocation subsequently fails.
+func (m *Memory) reserve(size int64) bool {
+	lim := m.limit.Load()
+	if lim > 0 && m.liveBytes.Add(size) > lim {
+		m.liveBytes.Add(-size)
+		return false
+	}
+	if lim <= 0 {
+		m.liveBytes.Add(size)
+	}
+	return true
+}
+
+// finishAlloc completes a successful allocation from either path:
+// high-water and data accounting, snapshot logging, zeroing, and
+// observability.
+func (m *Memory) finishAlloc(base, size int64, label string) {
+	live := m.liveBytes.Load()
+	atomicMax(&m.highWater, live)
+	m.allocs.Add(1)
+	if label != "stack" {
+		atomicMax(&m.highWaterData, m.liveData.Add(size))
+	}
+	// Zero the block: C malloc does not guarantee this, but MiniC
+	// does, which keeps program output deterministic. clear compiles
+	// to a runtime memclr instead of a byte-at-a-time loop. The
+	// zeroing may destroy bytes that were live at snapshot time
+	// (freed then reallocated), so it logs like any other write.
+	if s := m.snap; s != nil {
+		s.touch(m.data, base, size)
+	}
+	clear(m.data[base : base+size])
+	if ob := m.obs; ob != nil {
+		ob.noteAlloc(base, size, live, label)
+	}
+}
+
+// atomicMax raises a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// globalAlloc carves size bytes from the global free list and indexes
+// the block in the global live index.
+func (m *Memory) globalAlloc(size int64, site int, label string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base, ok := m.carve(size)
+	if !ok {
+		return 0, fmt.Errorf("mem: out of memory allocating %d bytes (capacity %d, live %d)",
+			size, len(m.data), m.liveBytes.Load()-size)
+	}
+	m.live = insertSorted(m.live, Block{Base: base, Size: size, Site: site, Label: label})
+	return base, nil
+}
+
+// carve removes size bytes from the global free list and returns the
+// base address, or false when no free block fits. Called with m.mu
+// held; advances the next-fit cursor.
+func (m *Memory) carve(size int64) (int64, bool) {
 	n := len(m.freeList)
 	start := 0
 	if m.policy == NextFit && m.cursor > 0 {
@@ -228,38 +342,12 @@ func (m *Memory) Alloc(size int64, site int, label string) (int64, error) {
 			m.freeList[i] = Block{Base: f.Base + size, Size: f.Size - size}
 		}
 		m.cursor = base + size
-		m.insertLive(Block{Base: base, Size: size, Site: site, Label: label})
-		m.liveBytes += size
-		m.allocs++
-		if m.liveBytes > m.highWater {
-			m.highWater = m.liveBytes
-		}
-		if label != "stack" {
-			m.liveData += size
-			if m.liveData > m.highWaterData {
-				m.highWaterData = m.liveData
-			}
-		}
-		// Zero the block: C malloc does not guarantee this, but MiniC
-		// does, which keeps program output deterministic. clear compiles
-		// to a runtime memclr instead of a byte-at-a-time loop. The
-		// zeroing may destroy bytes that were live at snapshot time
-		// (freed then reallocated), so it logs like any other write.
-		if s := m.snap; s != nil {
-			s.touch(m.data, base, size)
-		}
-		clear(m.data[base : base+size])
-		if ob := m.obs; ob != nil {
-			ob.noteAlloc(base, size, m.liveBytes, label)
-		}
-		return base, nil
+		return base, true
 	}
-	m.noteOOM(size, "capacity")
-	return 0, fmt.Errorf("mem: out of memory allocating %d bytes (capacity %d, live %d)",
-		size, len(m.data), m.liveBytes)
+	return 0, false
 }
 
-// noteOOM records a failed allocation; called with m.mu held.
+// noteOOM records a failed allocation.
 func (m *Memory) noteOOM(size int64, label string) {
 	ob := m.obs
 	if ob == nil {
@@ -271,28 +359,38 @@ func (m *Memory) noteOOM(size int64, label string) {
 	}
 }
 
-// Free releases the block with the given base address. Freeing address
-// 0 is a no-op, as in C.
+// Free releases the block with the given base address, routing it to
+// the arena whose slab holds it or to the global index. Freeing
+// address 0 is a no-op, as in C.
 func (m *Memory) Free(base int64) error {
 	if base == 0 {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	i := m.findLive(base)
-	if i < 0 {
-		return fmt.Errorf("mem: free of non-allocated address %d", base)
+	var b Block
+	if si := m.slabOf(base); si >= 0 {
+		var err error
+		if b, err = m.shardFree(si, base); err != nil {
+			return err
+		}
+	} else {
+		m.mu.Lock()
+		i := findBase(m.live, base)
+		if i < 0 {
+			m.mu.Unlock()
+			return fmt.Errorf("mem: free of non-allocated address %d", base)
+		}
+		b = m.live[i]
+		m.live = append(m.live[:i], m.live[i+1:]...)
+		m.freeList = insertFreeSorted(m.freeList, Block{Base: b.Base, Size: b.Size})
+		m.mu.Unlock()
 	}
-	b := m.live[i]
-	m.live = append(m.live[:i], m.live[i+1:]...)
-	m.liveBytes -= b.Size
+	live := m.liveBytes.Add(-b.Size)
 	if b.Label != "stack" {
-		m.liveData -= b.Size
+		m.liveData.Add(-b.Size)
 	}
-	m.insertFree(Block{Base: b.Base, Size: b.Size})
 	if ob := m.obs; ob != nil {
 		ob.cFrees.Inc()
-		ob.gLive.Set(m.liveBytes)
+		ob.gLive.Set(live)
 		if ob.o.AllocEvents {
 			ob.o.Emit(obs.Event{Name: "free", Ph: 'i', Iter: -1, V1: base})
 		}
@@ -304,20 +402,19 @@ func (m *Memory) Free(base int64) error {
 // necessary, and returns the (possibly new) base address. Realloc of
 // address 0 behaves like Alloc.
 func (m *Memory) Realloc(base, newSize int64, site int) (int64, error) {
+	return m.ReallocOn(-1, base, newSize, site)
+}
+
+// ReallocOn is Realloc with AllocOn's arena routing for the new block.
+func (m *Memory) ReallocOn(tid int, base, newSize int64, site int) (int64, error) {
 	if base == 0 {
-		return m.Alloc(newSize, site, "")
+		return m.AllocOn(tid, newSize, site, "")
 	}
-	m.mu.RLock()
-	i := m.findLive(base)
-	var old Block
-	if i >= 0 {
-		old = m.live[i]
-	}
-	m.mu.RUnlock()
-	if i < 0 {
+	old, ok := m.lookupExact(base)
+	if !ok {
 		return 0, fmt.Errorf("mem: realloc of non-allocated address %d", base)
 	}
-	nb, err := m.Alloc(newSize, site, old.Label)
+	nb, err := m.AllocOn(tid, newSize, site, old.Label)
 	if err != nil {
 		return 0, err
 	}
@@ -332,46 +429,80 @@ func (m *Memory) Realloc(base, newSize int64, site int) (int64, error) {
 	return nb, nil
 }
 
-// insertLive adds b to the sorted live-block index.
-func (m *Memory) insertLive(b Block) {
-	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base >= b.Base })
-	m.live = append(m.live, Block{})
-	copy(m.live[i+1:], m.live[i:])
-	m.live[i] = b
+// lookupExact finds the live block based exactly at base in whichever
+// index — arena or global — owns the address.
+func (m *Memory) lookupExact(base int64) (Block, bool) {
+	if si := m.slabOf(base); si >= 0 {
+		sh := &m.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if i := findBase(sh.live, base); i >= 0 {
+			return sh.live[i], true
+		}
+		return Block{}, false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if i := findBase(m.live, base); i >= 0 {
+		return m.live[i], true
+	}
+	return Block{}, false
 }
 
-// findLive returns the index of the live block based exactly at base,
-// or -1. Called with m.mu held (either mode).
-func (m *Memory) findLive(base int64) int {
-	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base >= base })
-	if i < len(m.live) && m.live[i].Base == base {
+// insertSorted adds b to a live-block index sorted by base.
+func insertSorted(s []Block, b Block) []Block {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Base >= b.Base })
+	s = append(s, Block{})
+	copy(s[i+1:], s[i:])
+	s[i] = b
+	return s
+}
+
+// findBase returns the index of the block based exactly at base, or -1.
+func findBase(s []Block, base int64) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Base >= base })
+	if i < len(s) && s[i].Base == base {
 		return i
 	}
 	return -1
 }
 
-// insertFree adds a free block, coalescing with neighbors.
-func (m *Memory) insertFree(b Block) {
-	i := sort.Search(len(m.freeList), func(i int) bool { return m.freeList[i].Base >= b.Base })
+// insertFreeSorted adds a free block, coalescing with neighbors.
+func insertFreeSorted(s []Block, b Block) []Block {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Base >= b.Base })
 	// Coalesce with predecessor.
-	if i > 0 && m.freeList[i-1].End() == b.Base {
-		m.freeList[i-1].Size += b.Size
+	if i > 0 && s[i-1].End() == b.Base {
+		s[i-1].Size += b.Size
 		// Coalesce predecessor with successor.
-		if i < len(m.freeList) && m.freeList[i-1].End() == m.freeList[i].Base {
-			m.freeList[i-1].Size += m.freeList[i].Size
-			m.freeList = append(m.freeList[:i], m.freeList[i+1:]...)
+		if i < len(s) && s[i-1].End() == s[i].Base {
+			s[i-1].Size += s[i].Size
+			s = append(s[:i], s[i+1:]...)
 		}
-		return
+		return s
 	}
 	// Coalesce with successor.
-	if i < len(m.freeList) && b.End() == m.freeList[i].Base {
-		m.freeList[i].Base = b.Base
-		m.freeList[i].Size += b.Size
-		return
+	if i < len(s) && b.End() == s[i].Base {
+		s[i].Base = b.Base
+		s[i].Size += b.Size
+		return s
 	}
-	m.freeList = append(m.freeList, Block{})
-	copy(m.freeList[i+1:], m.freeList[i:])
-	m.freeList[i] = b
+	s = append(s, Block{})
+	copy(s[i+1:], s[i:])
+	s[i] = b
+	return s
+}
+
+// blockAt returns the block of a sorted live index containing addr
+// (which may be an interior pointer), and whether one exists.
+func blockAt(s []Block, addr int64) (Block, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Base > addr })
+	if i == 0 {
+		return Block{}, false
+	}
+	if b := s[i-1]; addr < b.End() {
+		return b, true
+	}
+	return Block{}, false
 }
 
 // Block returns the live block containing addr (which may be an
@@ -379,16 +510,12 @@ func (m *Memory) insertFree(b Block) {
 // equivalent of the SpiceC "heap prefix" walk, extended — as the paper
 // describes — to be safe for pointers into the middle of an object.
 func (m *Memory) Block(addr int64) (Block, bool) {
+	if si := m.slabOf(addr); si >= 0 {
+		return m.shardBlock(si, addr)
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	i := sort.Search(len(m.live), func(i int) bool { return m.live[i].Base > addr })
-	if i == 0 {
-		return Block{}, false
-	}
-	if b := m.live[i-1]; addr < b.End() {
-		return b, true
-	}
-	return Block{}, false
+	return blockAt(m.live, addr)
 }
 
 // Stats reports allocator statistics.
@@ -405,20 +532,25 @@ type Stats struct {
 // Stats returns a snapshot of allocator statistics.
 func (m *Memory) Stats() Stats {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
+	blocks := len(m.live)
+	m.mu.RUnlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		blocks += len(sh.live)
+		sh.mu.Unlock()
+	}
 	return Stats{
-		Live: m.liveBytes, HighWater: m.highWater,
-		HighWaterData: m.highWaterData, Allocs: m.allocs, Blocks: len(m.live),
+		Live: m.liveBytes.Load(), HighWater: m.highWater.Load(),
+		HighWaterData: m.highWaterData.Load(), Allocs: m.allocs.Load(), Blocks: blocks,
 	}
 }
 
 // ResetHighWater sets the high-water mark back to the current live
 // byte count (used to measure a single phase of a program).
 func (m *Memory) ResetHighWater() {
-	m.mu.Lock()
-	m.highWater = m.liveBytes
-	m.highWaterData = m.liveData
-	m.mu.Unlock()
+	m.highWater.Store(m.liveBytes.Load())
+	m.highWaterData.Store(m.liveData.Load())
 }
 
 // Bytes returns the n bytes at addr as a slice aliasing the memory.

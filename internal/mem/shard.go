@@ -1,0 +1,172 @@
+package mem
+
+// Sharded allocation metadata for parallel regions. The simulated
+// memory stays one flat byte array — sharding splits only the
+// *metadata* (live-block index, free list) so that workers allocating
+// inside a parallel region do not serialize on the global allocator
+// lock. Each worker thread maps to one of numShards arenas; an arena
+// owns slabs — address ranges carved from the global free list — and
+// bump-allocates small blocks out of them, keeping its own live index
+// and free list under its own lock. A copy-on-write registry of slab
+// ranges routes Free, Block and Realloc for any address to the arena
+// whose slab holds it, so blocks can be released from any thread (or
+// after the region ends) regardless of who allocated them.
+//
+// Sequential allocations (tid < 0) and requests above shardMaxAlloc
+// take the exact pre-sharding global path, so sequential execution is
+// bit-identical with the unsharded allocator — including the next-fit
+// cursor, the address layout, and every error message.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+const (
+	// numShards is the arena count. It is a power of two; threads map
+	// by tid & (numShards-1), so runs with more than numShards workers
+	// share arenas pairwise — still numShards-way less contended than
+	// one global lock.
+	numShards = 8
+	// shardMaxAlloc is the largest request an arena serves; bigger
+	// blocks go to the global allocator, where the free list can
+	// satisfy them without dedicating a slab per size class.
+	shardMaxAlloc = 32 << 10
+	// slabSize is the address range an arena carves from the global
+	// free list when its bump space runs out. One carve amortizes the
+	// global lock over slabSize/size allocations.
+	slabSize = 64 << 10
+)
+
+// shard is one arena: the allocation metadata private to the worker
+// threads that map here.
+type shard struct {
+	mu   sync.Mutex
+	live []Block // sorted by base
+	free []Block // sorted by base, coalesced
+	// [slabLo, slabHi) is the unconsumed remainder of the current slab.
+	slabLo, slabHi int64
+	_              [5]int64 // keep neighbouring shards off one cache line
+}
+
+// slabRange records that [base, end) was carved from the global free
+// list for arena shard. The registry of these ranges is what routes an
+// arbitrary address to the arena that owns its metadata.
+type slabRange struct {
+	base, end int64
+	shard     int32
+}
+
+// slabOf returns the arena index owning addr, or -1 when addr lies
+// outside every slab (global metadata). Lock-free: the registry is
+// copy-on-write, published with an atomic pointer.
+func (m *Memory) slabOf(addr int64) int {
+	ps := m.slabs.Load()
+	if ps == nil {
+		return -1
+	}
+	s := *ps
+	i := sort.Search(len(s), func(i int) bool { return s[i].end > addr })
+	if i < len(s) && s[i].base <= addr {
+		return int(s[i].shard)
+	}
+	return -1
+}
+
+// addSlab publishes a new slab range. Called with m.mu held, which
+// serializes the writers; readers go through the atomic pointer.
+func (m *Memory) addSlab(r slabRange) {
+	var old []slabRange
+	if ps := m.slabs.Load(); ps != nil {
+		old = *ps
+	}
+	i := sort.Search(len(old), func(i int) bool { return old[i].base >= r.base })
+	ns := make([]slabRange, 0, len(old)+1)
+	ns = append(ns, old[:i]...)
+	ns = append(ns, r)
+	ns = append(ns, old[i:]...)
+	m.slabs.Store(&ns)
+}
+
+// shardAlloc serves one small in-region request from the caller's
+// arena: the arena free list first, then the bump slab, carving a new
+// slab from the global free list when both run dry.
+func (m *Memory) shardAlloc(tid int, size int64, site int, label string) (int64, error) {
+	sh := &m.shards[tid&(numShards-1)]
+	sh.mu.Lock()
+	for {
+		// Arena free list first: blocks previously released back here.
+		for i := range sh.free {
+			f := sh.free[i]
+			if f.Size < size {
+				continue
+			}
+			base := f.Base
+			if f.Size == size {
+				sh.free = append(sh.free[:i], sh.free[i+1:]...)
+			} else {
+				sh.free[i] = Block{Base: f.Base + size, Size: f.Size - size}
+			}
+			sh.live = insertSorted(sh.live, Block{Base: base, Size: size, Site: site, Label: label})
+			sh.mu.Unlock()
+			return base, nil
+		}
+		// Bump from the current slab.
+		if sh.slabHi-sh.slabLo >= size {
+			base := sh.slabLo
+			sh.slabLo += size
+			sh.live = insertSorted(sh.live, Block{Base: base, Size: size, Site: site, Label: label})
+			sh.mu.Unlock()
+			return base, nil
+		}
+		// Need a fresh slab. Drop the arena lock before taking the
+		// global one — the snapshot and stats paths nest the two locks
+		// the other way around, so holding both here would invert the
+		// lock order. A sibling sharing this arena may install its own
+		// slab while we carve; retiring the current remainder to the
+		// arena free list keeps both slabs usable.
+		sh.mu.Unlock()
+		m.mu.Lock()
+		base, ok := m.carve(slabSize)
+		if ok {
+			m.addSlab(slabRange{base: base, end: base + slabSize, shard: int32(tid & (numShards - 1))})
+		}
+		m.mu.Unlock()
+		if !ok {
+			// The global heap cannot fit a slab (tiny or fragmented
+			// memory); serve this one request from the global path.
+			return m.globalAlloc(size, site, label)
+		}
+		sh.mu.Lock()
+		if sh.slabHi > sh.slabLo {
+			sh.free = insertFreeSorted(sh.free, Block{Base: sh.slabLo, Size: sh.slabHi - sh.slabLo})
+		}
+		sh.slabLo, sh.slabHi = base, base+slabSize
+	}
+}
+
+// shardFree releases the block based exactly at base from arena si and
+// returns it for the caller's accounting.
+func (m *Memory) shardFree(si int, base int64) (Block, error) {
+	sh := &m.shards[si]
+	sh.mu.Lock()
+	i := findBase(sh.live, base)
+	if i < 0 {
+		sh.mu.Unlock()
+		return Block{}, fmt.Errorf("mem: free of non-allocated address %d", base)
+	}
+	b := sh.live[i]
+	sh.live = append(sh.live[:i], sh.live[i+1:]...)
+	sh.free = insertFreeSorted(sh.free, Block{Base: b.Base, Size: b.Size})
+	sh.mu.Unlock()
+	return b, nil
+}
+
+// shardBlock looks addr up in arena si, interior pointers included.
+func (m *Memory) shardBlock(si int, addr int64) (Block, bool) {
+	sh := &m.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return blockAt(sh.live, addr)
+}

@@ -1,0 +1,302 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestShardedAllocRoutesAndFrees exercises the arena path end to end:
+// small allocations with a worker tid land in slabs, are found by
+// exact and interior lookup, can be freed from any context, and their
+// storage is reused by the owning arena.
+func TestShardedAllocRoutesAndFrees(t *testing.T) {
+	m := New(4 << 20)
+	a, err := m.AllocOn(3, 100, 7, "")
+	if err != nil {
+		t.Fatalf("AllocOn: %v", err)
+	}
+	if si := m.slabOf(a); si != 3 {
+		t.Fatalf("block at %d routed to arena %d, want 3", a, si)
+	}
+	b, ok := m.Block(a + 50) // interior pointer
+	if !ok || b.Base != a || b.Size != 104 || b.Site != 7 {
+		t.Fatalf("Block(%d) = %+v, %v", a+50, b, ok)
+	}
+	st := m.Stats()
+	if st.Live != 104 || st.Blocks != 1 || st.Allocs != 1 {
+		t.Fatalf("stats after alloc: %+v", st)
+	}
+	// Free from a sequential context (tid routing is irrelevant to
+	// Free: the slab registry finds the owning arena).
+	if err := m.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, ok := m.Block(a); ok {
+		t.Fatal("freed block still found")
+	}
+	if st := m.Stats(); st.Live != 0 || st.Blocks != 0 {
+		t.Fatalf("stats after free: %+v", st)
+	}
+	// The arena reuses its freed storage.
+	a2, err := m.AllocOn(3, 100, 7, "")
+	if err != nil {
+		t.Fatalf("AllocOn again: %v", err)
+	}
+	if a2 != a {
+		t.Fatalf("arena did not reuse freed block: got %d, want %d", a2, a)
+	}
+}
+
+// TestShardedAllocZeroesReusedBlock pins the MiniC malloc-zeroes
+// guarantee on the arena path, including reuse of a dirtied block.
+func TestShardedAllocZeroesReusedBlock(t *testing.T) {
+	m := New(1 << 20)
+	a, err := m.AllocOn(0, 64, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Memset(a, 0xAB, 64)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.AllocOn(0, 64, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Bytes(a2, 64) {
+		if c != 0 {
+			t.Fatalf("reused arena block not zeroed: % x", m.Bytes(a2, 64))
+		}
+	}
+}
+
+// TestShardedLargeAndSequentialUseGlobalPath verifies the routing
+// boundary: big requests and tid -1 stay out of the arenas.
+func TestShardedLargeAndSequentialUseGlobalPath(t *testing.T) {
+	m := New(4 << 20)
+	big, err := m.AllocOn(2, shardMaxAlloc+8, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.AllocOn(-1, 64, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int64{big, seq} {
+		if si := m.slabOf(a); si >= 0 {
+			t.Fatalf("address %d landed in arena %d, want global", a, si)
+		}
+		if _, ok := m.Block(a); !ok {
+			t.Fatalf("global lookup missed block at %d", a)
+		}
+	}
+}
+
+// TestShardedRealloc moves a block between the arena and global
+// indices and preserves its contents.
+func TestShardedRealloc(t *testing.T) {
+	m := New(4 << 20)
+	a, err := m.AllocOn(1, 16, 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store8(a, 0xDEADBEEF)
+	// Grow past the arena threshold: the new block must be global.
+	nb, err := m.ReallocOn(1, a, shardMaxAlloc+8, 5)
+	if err != nil {
+		t.Fatalf("ReallocOn: %v", err)
+	}
+	if m.Load8(nb) != 0xDEADBEEF {
+		t.Fatal("realloc lost contents")
+	}
+	if si := m.slabOf(nb); si >= 0 {
+		t.Fatalf("grown block stayed in arena %d", si)
+	}
+	if _, ok := m.Block(a); ok {
+		t.Fatal("old arena block still live after realloc")
+	}
+	// Shrink back: routed to the arena again.
+	nb2, err := m.ReallocOn(1, nb, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Load8(nb2) != 0xDEADBEEF {
+		t.Fatal("second realloc lost contents")
+	}
+	if si := m.slabOf(nb2); si != 1 {
+		t.Fatalf("shrunk block routed to %d, want arena 1", si)
+	}
+}
+
+// TestShardedSnapshotRollback covers the coherence requirement:
+// rollback must restore arena metadata and the slab registry along
+// with the global index, making in-region arena allocations vanish.
+func TestShardedSnapshotRollback(t *testing.T) {
+	m := New(4 << 20)
+	pre, err := m.AllocOn(0, 128, 1, "") // arena block from before the region
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store8(pre, 42)
+	before := m.Stats()
+
+	s := m.BeginSnapshot()
+	var in []int64
+	for tid := 0; tid < 4; tid++ {
+		a, err := m.AllocOn(tid, 256, 2, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Store8(a, uint64(tid)+1)
+		in = append(in, a)
+	}
+	m.Store8(pre, 1337) // mutate pre-region data too
+	m.Rollback(s)
+
+	if got := m.Load8(pre); got != 42 {
+		t.Fatalf("pre-region byte not restored: %d", got)
+	}
+	for _, a := range in {
+		if _, ok := m.Block(a); ok {
+			t.Fatalf("in-region arena block %d survived rollback", a)
+		}
+	}
+	if after := m.Stats(); after != before {
+		t.Fatalf("allocator stats not restored:\nbefore %+v\nafter  %+v", before, after)
+	}
+	// The pre-region arena block is still fully usable.
+	if err := m.Free(pre); err != nil {
+		t.Fatalf("free of pre-region arena block after rollback: %v", err)
+	}
+}
+
+// TestShardedConcurrentAllocFree hammers the arenas from concurrent
+// goroutines (run under -race in CI) and checks the global accounting
+// comes out exact.
+func TestShardedConcurrentAllocFree(t *testing.T) {
+	m := New(64 << 20)
+	const workers, rounds, keep = 8, 400, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	remaining := make([][]int64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var blocks []int64
+			for i := 0; i < rounds; i++ {
+				a, err := m.AllocOn(w, int64(8+16*(i%7)), 1, "")
+				if err != nil {
+					errs <- err
+					return
+				}
+				blocks = append(blocks, a)
+				if len(blocks) > keep {
+					if err := m.Free(blocks[0]); err != nil {
+						errs <- err
+						return
+					}
+					blocks = blocks[1:]
+				}
+			}
+			remaining[w] = blocks
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var want int64
+	blocks := 0
+	for _, bs := range remaining {
+		for _, a := range bs {
+			b, ok := m.Block(a)
+			if !ok {
+				t.Fatalf("surviving block %d not found", a)
+			}
+			want += b.Size
+			blocks++
+		}
+	}
+	st := m.Stats()
+	if st.Live != want || st.Blocks != blocks {
+		t.Fatalf("stats disagree with surviving blocks: %+v, want Live=%d Blocks=%d",
+			st, want, blocks)
+	}
+	for _, bs := range remaining {
+		for _, a := range bs {
+			if err := m.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st := m.Stats(); st.Live != 0 || st.Blocks != 0 {
+		t.Fatalf("leak after freeing everything: %+v", st)
+	}
+}
+
+// TestShardedLimitAndFailAllocApply verifies the byte limit and the
+// fault-injection countdown cover the arena path too.
+func TestShardedLimitAndFailAllocApply(t *testing.T) {
+	m := New(4 << 20)
+	m.SetLimit(256)
+	if _, err := m.AllocOn(1, 200, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocOn(2, 200, 1, ""); err == nil {
+		t.Fatal("limit not enforced on arena path")
+	}
+	m.SetLimit(0)
+	m.SetFailAlloc(2)
+	if _, err := m.AllocOn(1, 8, 1, ""); err != nil {
+		t.Fatalf("countdown fired early: %v", err)
+	}
+	if _, err := m.AllocOn(1, 8, 1, ""); err == nil {
+		t.Fatal("fault injection skipped the arena path")
+	}
+}
+
+// BenchmarkAllocParallel measures contended allocation: every
+// goroutine behaves like a parallel-region worker doing small
+// malloc/free cycles. The sharded variant routes each goroutine to its
+// own metadata arena; the global variant forces the pre-sharding
+// single-lock path for comparison. Run with -cpu 1,4,8.
+func BenchmarkAllocParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		tid  func(worker int) int
+	}{
+		{"global", func(int) int { return -1 }},
+		{"sharded", func(w int) int { return w }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := New(256 << 20)
+			var wid int32
+			var mu sync.Mutex
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				tid := mode.tid(int(wid))
+				wid++
+				mu.Unlock()
+				var blocks [64]int64
+				i := 0
+				for pb.Next() {
+					if blocks[i] != 0 {
+						if err := m.Free(blocks[i]); err != nil {
+							panic(fmt.Sprintf("free: %v", err))
+						}
+					}
+					a, err := m.AllocOn(tid, 64, 1, "")
+					if err != nil {
+						panic(fmt.Sprintf("alloc: %v", err))
+					}
+					blocks[i] = a
+					i = (i + 1) % len(blocks)
+				}
+			})
+		})
+	}
+}

@@ -52,8 +52,15 @@ type snapState struct {
 	bytes int64
 }
 
+// shardSnap captures one metadata arena at Begin time.
+type shardSnap struct {
+	live, free     []Block
+	slabLo, slabHi int64
+}
+
 // Snapshot captures the restorable state of a Memory: the write log
-// plus the allocator metadata at Begin time.
+// plus the allocator metadata — global index and per-thread arenas —
+// at Begin time.
 type Snapshot struct {
 	st *snapState
 
@@ -65,7 +72,8 @@ type Snapshot struct {
 	highWater     int64
 	highWaterData int64
 	allocs        int64
-	failAt        int64
+	shards        [numShards]shardSnap
+	slabs         *[]slabRange
 }
 
 // touch logs the pre-image of every page overlapping [addr, addr+n)
@@ -121,12 +129,23 @@ func (m *Memory) BeginSnapshot() *Snapshot {
 		live:          append([]Block(nil), m.live...),
 		freeList:      append([]Block(nil), m.freeList...),
 		cursor:        m.cursor,
-		liveBytes:     m.liveBytes,
-		liveData:      m.liveData,
-		highWater:     m.highWater,
-		highWaterData: m.highWaterData,
-		allocs:        m.allocs,
-		failAt:        m.failAt,
+		liveBytes:     m.liveBytes.Load(),
+		liveData:      m.liveData.Load(),
+		highWater:     m.highWater.Load(),
+		highWaterData: m.highWaterData.Load(),
+		allocs:        m.allocs.Load(),
+		slabs:         m.slabs.Load(),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		s.shards[i] = shardSnap{
+			live:   append([]Block(nil), sh.live...),
+			free:   append([]Block(nil), sh.free...),
+			slabLo: sh.slabLo,
+			slabHi: sh.slabHi,
+		}
+		sh.mu.Unlock()
 	}
 	m.snap = s.st
 	return s
@@ -174,12 +193,21 @@ func (m *Memory) Rollback(s *Snapshot) (pages int, bytes int64) {
 	m.live = s.live
 	m.freeList = s.freeList
 	m.cursor = s.cursor
-	m.liveBytes = s.liveBytes
-	m.liveData = s.liveData
-	m.highWater = s.highWater
-	m.highWaterData = s.highWaterData
-	m.allocs = s.allocs
-	m.failAt = 0
+	m.liveBytes.Store(s.liveBytes)
+	m.liveData.Store(s.liveData)
+	m.highWater.Store(s.highWater)
+	m.highWaterData.Store(s.highWaterData)
+	m.allocs.Store(s.allocs)
+	m.failAt.Store(0)
+	m.slabs.Store(s.slabs)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.live = s.shards[i].live
+		sh.free = s.shards[i].free
+		sh.slabLo, sh.slabHi = s.shards[i].slabLo, s.shards[i].slabHi
+		sh.mu.Unlock()
+	}
 	return len(s.st.pages), s.st.bytes
 }
 

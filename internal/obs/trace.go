@@ -40,6 +40,10 @@ type eventSchema struct {
 	v1, v2  string
 	v1Canon bool
 	v2Canon bool
+	// noCanon excludes the event from the canonical stream entirely:
+	// whether it occurs at all (and how often) depends on real thread
+	// timing, not on the simulated work.
+	noCanon bool
 }
 
 var eventSchemas = map[string]eventSchema{
@@ -57,6 +61,12 @@ var eventSchemas = map[string]eventSchema{
 	"free":              {v1: "base"},
 	"oom":               {v2: "size", v2Canon: true},
 	"expand":            {v1: "base", v2: "span", v2Canon: true},
+	// A steal happens when one worker outpaces another — pure host
+	// scheduling. victim/count are real but unreproducible.
+	"steal": {v1: "victim", v2: "count", noCanon: true},
+	// The per-region scheduler summary is deterministic except for its
+	// steal count.
+	"sched": {v1: "steals", v2: "nthreads", v2Canon: true},
 }
 
 func schemaOf(name string) eventSchema {
@@ -246,6 +256,9 @@ func (t *Tracer) Canonical() []string {
 	out := make([]string, 0, len(events))
 	for _, ev := range events {
 		sch := schemaOf(ev.Name)
+		if sch.noCanon {
+			continue
+		}
 		v1, v2 := int64(0), int64(0)
 		if sch.v1Canon {
 			v1 = ev.V1

@@ -21,9 +21,29 @@ import (
 	"gdsx/internal/obs"
 )
 
+// Policy selects the DOALL dispatch model. DOACROSS loops always use
+// the ordered dynamic pipeline, as in the runtime.
+type Policy int
+
+const (
+	// PolicyStatic models contiguous static chunks — the reference
+	// scheduler, and the zero value so the paper-figure models are
+	// unchanged.
+	PolicyStatic Policy = iota
+	// PolicyStealing mirrors the runtime's work-stealing scheduler
+	// (interp/sched.go): the static initial partition with the first
+	// grain pinned, owners consuming grain-sized pieces from the
+	// front, and an idle thread stealing the upper half of a victim's
+	// remainder — always the lowest range that still lies above the
+	// thief's last executed iteration.
+	PolicyStealing
+)
+
 // Model holds the cost constants of the simulated machine, in
 // interpreter ops (one op ≈ one simple instruction).
 type Model struct {
+	// Policy is the DOALL dispatch model (default PolicyStatic).
+	Policy Policy
 	// SpawnPerRegion is the cost of forking/joining a parallel region
 	// (the Gomp fork the paper's Figure 11 shows as 1-core slowdown).
 	SpawnPerRegion int64
@@ -98,7 +118,11 @@ func Simulate(tr *interp.LoopTrace, n int, m Model) Breakdown {
 	var b Breakdown
 	switch tr.Kind {
 	case ast.DOALL:
-		b = simulateStatic(tr, n, m)
+		if m.Policy == PolicyStealing {
+			b = simulateStealing(tr, n, m)
+		} else {
+			b = simulateStatic(tr, n, m)
+		}
 	case ast.DOACROSS:
 		b = simulateDynamic(tr, n, m)
 	default:
@@ -170,6 +194,114 @@ func simulateStatic(tr *interp.LoopTrace, n int, m Model) Breakdown {
 		b.Busy += busyPer[t]
 		b.Sync += m.StaticDispatch
 		b.Wait += maxT - m.StaticDispatch - busyPer[t] // barrier idle
+	}
+	b.Sync += m.SpawnPerRegion
+	return b
+}
+
+// simulateStealing models the work-stealing DOALL scheduler as a
+// discrete-event simulation: threads start on the static partition and
+// the thread with the earliest clock acts next — consuming a grain
+// from its own deque, or, when empty, stealing the upper half of the
+// lowest eligible victim range above its floor (the same victim choice
+// and monotonicity rule as interp's runStealing). Each steal is
+// charged one StaticDispatch, so a run with zero steals costs exactly
+// what simulateStatic charges.
+func simulateStealing(tr *interp.LoopTrace, n int, m Model) Breakdown {
+	k := int64(len(tr.Iters))
+	type deque struct{ lo, hi, pin int64 }
+	dq := make([]deque, n)
+	chunk := k / int64(n)
+	rem := k % int64(n)
+	const stealGrainDiv = 8 // as interp/sched.go
+	grain := max(1, chunk/stealGrainDiv)
+	for t := int64(0); t < int64(n); t++ {
+		lo := t*chunk + min(t, rem)
+		hi := lo + chunk
+		if t < rem {
+			hi++
+		}
+		dq[t] = deque{lo: lo, hi: hi, pin: min(lo+grain, hi)}
+	}
+	free := make([]int64, n)  // each thread's clock
+	busy := make([]int64, n)  // useful ops per thread
+	sync := make([]int64, n)  // dispatch + steal ops per thread
+	floor := make([]int64, n) // last executed iteration per thread
+	retired := make([]bool, n)
+	for t := 0; t < n; t++ {
+		free[t] = m.StaticDispatch // one dispatch per worker, as static
+		sync[t] = m.StaticDispatch
+		floor[t] = -1
+	}
+	for {
+		t := -1
+		for j := 0; j < n; j++ {
+			if !retired[j] && (t < 0 || free[j] < free[t]) {
+				t = j
+			}
+		}
+		if t < 0 {
+			break
+		}
+		d := &dq[t]
+		if d.lo >= d.hi {
+			best, bestLo := -1, int64(0)
+			for v := 0; v < n; v++ {
+				if v == t {
+					continue
+				}
+				avail := dq[v].hi - max(dq[v].lo, dq[v].pin)
+				if avail <= 0 {
+					continue
+				}
+				lo := dq[v].hi - (avail+1)/2
+				if lo <= floor[t] {
+					continue
+				}
+				if best < 0 || lo < bestLo {
+					best, bestLo = v, lo
+				}
+			}
+			if best < 0 {
+				// All remaining work is claimed or below the floor:
+				// this thread idles until the region drains.
+				retired[t] = true
+				continue
+			}
+			v := &dq[best]
+			avail := v.hi - max(v.lo, v.pin)
+			lo := v.hi - (avail+1)/2
+			*d = deque{lo: lo, hi: v.hi, pin: lo}
+			v.hi = lo
+			free[t] += m.StaticDispatch
+			sync[t] += m.StaticDispatch
+			// Fall through: the thief executes its first grain as part
+			// of the same action. (The runtime's thief also proceeds
+			// straight from put to take; making the pair atomic here
+			// guarantees every simulation step consumes an iteration,
+			// so the event loop terminates.)
+		}
+		lo := d.lo
+		hi := min(lo+grain, d.hi)
+		d.lo = hi
+		for i := lo; i < hi; i++ {
+			c := tr.Iters[i].Total()
+			free[t] += c
+			busy[t] += c
+			floor[t] = i
+		}
+	}
+	var maxT int64
+	for t := 0; t < n; t++ {
+		if free[t] > maxT {
+			maxT = free[t]
+		}
+	}
+	b := Breakdown{Time: maxT + m.SpawnPerRegion}
+	for t := 0; t < n; t++ {
+		b.Busy += busy[t]
+		b.Sync += sync[t]
+		b.Wait += maxT - free[t] // idle until the slowest thread finishes
 	}
 	b.Sync += m.SpawnPerRegion
 	return b

@@ -100,6 +100,94 @@ func TestDynamicPipelineOverlap(t *testing.T) {
 	}
 }
 
+func TestStealingMatchesStaticWhenBalanced(t *testing.T) {
+	// A perfectly balanced loop never steals: the stealing model must
+	// charge exactly what the static model charges.
+	tr := flat(8, 1000)
+	m := Model{SpawnPerRegion: 1200, StaticDispatch: 60}
+	ms := m
+	ms.Policy = PolicyStealing
+	st, sl := Simulate(tr, 4, m), Simulate(tr, 4, ms)
+	if st != sl {
+		t.Fatalf("balanced loop: stealing %+v != static %+v", sl, st)
+	}
+}
+
+func TestStealingBeatsStaticOnImbalance(t *testing.T) {
+	// Cheap early iterations, expensive late ones: static leaves the
+	// high-tid threads with all the work; stealing lets the early
+	// finishers take the upper halves (their floor allows it, since the
+	// expensive work lies above the iterations they executed).
+	tr := &interp.LoopTrace{Kind: ast.DOALL}
+	for i := 0; i < 16; i++ {
+		c := int64(1)
+		if i >= 8 {
+			c = 1000
+		}
+		tr.Iters = append(tr.Iters, interp.IterCost{Pre: c})
+	}
+	ms := noOverhead
+	ms.Policy = PolicyStealing
+	st, sl := Simulate(tr, 2, noOverhead), Simulate(tr, 2, ms)
+	if st.Time != 8000 {
+		t.Fatalf("static time = %d, want 8000", st.Time)
+	}
+	if sl.Time >= st.Time {
+		t.Fatalf("stealing (%d) did not beat static (%d)", sl.Time, st.Time)
+	}
+	if sl.Busy != st.Busy {
+		t.Fatalf("stealing lost work: busy %d != %d", sl.Busy, st.Busy)
+	}
+}
+
+func TestStealingFloorBlocksDownwardSteals(t *testing.T) {
+	// The mirror of the monotonicity invariant: when the expensive work
+	// lies in LOW iterations, a thread that already executed higher
+	// iterations may not steal it (its executed set must stay strictly
+	// increasing), so stealing degenerates to static.
+	tr := &interp.LoopTrace{Kind: ast.DOALL}
+	for i := 0; i < 16; i++ {
+		c := int64(1000)
+		if i >= 8 {
+			c = 1
+		}
+		tr.Iters = append(tr.Iters, interp.IterCost{Pre: c})
+	}
+	ms := noOverhead
+	ms.Policy = PolicyStealing
+	st, sl := Simulate(tr, 2, noOverhead), Simulate(tr, 2, ms)
+	if sl.Time != st.Time {
+		t.Fatalf("floor-blocked stealing time %d, want static %d", sl.Time, st.Time)
+	}
+}
+
+func TestStealingBusyConservation(t *testing.T) {
+	// Property: the stealing model neither loses nor duplicates work,
+	// for arbitrary cost shapes and thread counts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &interp.LoopTrace{Kind: ast.DOALL}
+		var want int64
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			c := int64(rng.Intn(800))
+			tr.Iters = append(tr.Iters, interp.IterCost{Pre: c})
+			want += c
+		}
+		m := DefaultModel()
+		m.MemBandwidth, m.SharedCacheBW = 0, 0 // no stall inflation
+		m.Policy = PolicyStealing
+		for _, n := range []int{1, 2, 3, 8, 16} {
+			if got := Simulate(tr, n, m).Busy; got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBandwidthBound(t *testing.T) {
 	tr := flat(8, 1000)
 	for i := range tr.Iters {

@@ -47,8 +47,11 @@ func TestObsTraceEndToEnd(t *testing.T) {
 	}
 	o := NewObserver(true) // hot profiler on: exercise every surface
 	o.IterSpans = true
+	// Static scheduling: which rule the violating region trips first
+	// depends on the iteration-to-thread mapping, and this test asserts
+	// the exact carried-flow label the static map produces.
 	res, err := GuardedRun(native, tr, RunOptions{
-		Threads: 4, Recover: &RecoverySpec{}, Obs: o,
+		Threads: 4, Recover: &RecoverySpec{}, Obs: o, Sched: SchedStatic,
 	})
 	if err != nil {
 		t.Fatalf("guarded run: %v", err)

@@ -34,11 +34,12 @@ func obsRun(t *testing.T, name, src string, eng Engine, threads int) *Observer {
 
 // deterministicCounters filters a metrics snapshot down to the
 // counters that must match between engines: spin counts (wait ops)
-// depend on real scheduling, everything else is simulated and exact.
+// and work-stealing steal counts depend on real host scheduling,
+// everything else is simulated and exact.
 func deterministicCounters(s obs.Snapshot) map[string]int64 {
 	out := map[string]int64{}
 	for name, v := range s.Counters {
-		if name == "interp.ops.wait" {
+		if name == "interp.ops.wait" || name == "sched.steals" {
 			continue
 		}
 		out[name] = v
