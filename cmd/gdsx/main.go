@@ -17,6 +17,14 @@
 // Adding -recover upgrades the fallback to region-scoped rollback: the
 // violating (or faulting, or -region-timeout-exceeding) region alone
 // re-executes sequentially and the rest of the run stays parallel.
+// Adding -sample-k K engages tiered guard sampling: after a clean
+// streak the monitor checks only every k-th iteration, escalating back
+// to full guarding on any suspicious access. -adapt runs the whole
+// adaptive ladder (gdsx.AdaptiveRun): sampling, recovery, and — on
+// repeated violations at one site pair — runtime re-expansion with a
+// flipped copy layout or a halved copy count; with -metrics, the
+// ladder's per-region tiers, strikes and final layout land in the
+// registry output.
 package main
 
 import (
@@ -63,7 +71,8 @@ func usage() {
   gdsx profile  [-loop ID] [-json] file.c
   gdsx expand   [-unopt] [-interleaved|-adaptive] file.c
   gdsx pipeline [-threads N] [-engine compiled|compiled-noopt|tree] [-guard]
-                [-recover] [-region-timeout D] [-profile-input train.c]
+                [-recover] [-adapt] [-sample-k K] [-region-timeout D]
+                [-profile-input train.c]
                 [-hotspots] [-hotspots-json sites.json]
                 [-opt-profile sites.json] file.c`)
 	os.Exit(2)
@@ -255,6 +264,15 @@ func pipelineCmd(args []string) error {
 	recoverRegions := fs.Bool("recover", false,
 		"with -guard: roll back and re-execute a violating region sequentially "+
 			"instead of discarding the whole run")
+	adapt := fs.Bool("adapt", false,
+		"adaptive guarded execution: guard-sampling tiers, region recovery, and "+
+			"runtime re-expansion (layout flip, copy-count halving) on repeated "+
+			"violations at one site pair (implies -guard -recover)")
+	sampleK := fs.Int("sample-k", 0,
+		"with -guard or -adapt: first sampled guard tier — after a clean streak "+
+			"the monitor checks every k-th iteration, escalating back to full "+
+			"guarding on suspicion (0 = full guarding; -adapt defaults to the "+
+			"standard ladder)")
 	regionTimeout := fs.Duration("region-timeout", 0,
 		"with -recover: watchdog limit per parallel region (e.g. 500ms; 0 = unbounded)")
 	profileInput := fs.String("profile-input", "",
@@ -299,11 +317,20 @@ func pipelineCmd(args []string) error {
 	}
 	ropts := gdsx.RunOptions{Threads: *threads, Engine: engine,
 		RegionTimeout: *regionTimeout, OptProfile: sites}
-	if *recoverRegions && !*guarded {
+	if *recoverRegions && !*guarded && !*adapt {
 		return fmt.Errorf("-recover requires -guard")
+	}
+	if *sampleK != 0 && !*guarded && !*adapt {
+		return fmt.Errorf("-sample-k requires -guard or -adapt")
 	}
 	if *recoverRegions {
 		ropts.Recover = &gdsx.RecoverySpec{}
+	}
+	switch {
+	case *sampleK > 0:
+		ropts.Sample = &gdsx.TierSpec{SampleK: *sampleK}
+	case *adapt:
+		ropts.Sample = &gdsx.TierSpec{}
 	}
 	if *hotspotsJSON != "" && !*hotspots {
 		return fmt.Errorf("-hotspots-json requires -hotspots")
@@ -314,15 +341,54 @@ func pipelineCmd(args []string) error {
 		// in Perfetto; a diagnostic pipeline run accepts their cost.
 		ropts.Obs.IterSpans = *traceOut != ""
 	}
-	tr, err := gdsx.Transform(prog, topts)
-	if err != nil {
-		return err
+	var tr *gdsx.TransformResult
+	if !*adapt {
+		// The adaptive driver transforms internally (and re-transforms on
+		// a layout flip); transforming here would be wasted work.
+		tr, err = gdsx.Transform(prog, topts)
+		if err != nil {
+			return err
+		}
 	}
 	var out gdsx.Result
 	// expanded is the compiled expanded program, which resolves the
 	// hot-site profile's access-site IDs to source positions.
 	var expanded *gdsx.Program
-	if *guarded {
+	if *adapt {
+		ares, aerr := gdsx.AdaptiveRun(prog, gdsx.AdaptiveOptions{Transform: topts, Run: ropts})
+		if aerr != nil {
+			return aerr
+		}
+		tr = ares.Transform
+		res := ares.Final
+		out = res.Result
+		expanded = res.Expanded
+		fmt.Print(out.Output)
+		fmt.Fprintf(os.Stderr, "adapt: %d attempt(s), %d re-expansion(s); final: %s layout, "+
+			"%d copies, %d suspicion(s), %d region recover(ies)\n",
+			ares.Attempts, len(ares.Reexpansions), ares.Layout, ares.Threads,
+			res.Suspicions, res.Recovered)
+		for _, rx := range ares.Reexpansions {
+			if rx.Failed {
+				fmt.Fprintf(os.Stderr, "adapt: attempt %d: re-expansion failed: %s\n",
+					rx.Attempt, rx.Reason)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "adapt: attempt %d: loop %d %s sites %d-%d: "+
+				"%s -> %s at %d copies\n", rx.Attempt, rx.Loop, rx.Rule,
+				rx.Site, rx.OtherSite, rx.From, rx.To, rx.Threads)
+		}
+		if err := gdsx.RenderHealthReport(os.Stderr, res); err != nil {
+			return err
+		}
+		// Fold the ladder state into the run's registry: per-region tiers,
+		// residual strikes, re-expansion decisions — what -metrics renders.
+		if ropts.Obs != nil && ropts.Obs.Metrics != nil {
+			gdsx.PublishRegionStats(ropts.Obs.Metrics, res.Regions)
+			gdsx.PublishGuardReports(ropts.Obs.Metrics, res.Violations)
+			gdsx.PublishAdaptiveStats(ropts.Obs.Metrics, ares)
+		}
+	} else if *guarded {
 		res, gerr := gdsx.GuardedRun(prog, tr, ropts)
 		if gerr != nil {
 			return gerr
@@ -350,6 +416,7 @@ func pipelineCmd(args []string) error {
 		if ropts.Obs != nil && ropts.Obs.Metrics != nil {
 			gdsx.PublishRegionStats(ropts.Obs.Metrics, res.Regions)
 			gdsx.PublishGuardReports(ropts.Obs.Metrics, res.Violations)
+			gdsx.PublishTierStats(ropts.Obs.Metrics, res.Tiers)
 		}
 	} else {
 		expanded, err = gdsx.Compile(prog.File+" (expanded)", tr.Source)
@@ -369,6 +436,9 @@ func pipelineCmd(args []string) error {
 	kind := ""
 	if *guarded {
 		kind = "guarded "
+	}
+	if *adapt {
+		kind = "adaptive "
 	}
 	fmt.Fprintf(os.Stderr, "native vs %s%d-thread expanded: %s (%d structures expanded)\n",
 		kind, *threads, status, tr.Reports[0].Structures)

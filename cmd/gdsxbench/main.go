@@ -13,6 +13,7 @@
 //	gdsxbench -recovery [-scale ...] [-o BENCH_recovery.json]
 //	gdsxbench -obs [-quick] [-scale ...] [-o BENCH_obs.json]
 //	gdsxbench -sched [-scale ...] [-o BENCH_sched.json]
+//	gdsxbench -adapt [-quick] [-scale ...] [-o BENCH_adapt.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
@@ -37,7 +38,14 @@
 // workloads through the schedule simulator under both DOALL dispatch
 // policies (static chunking vs work stealing) and writes the scaling
 // curves; the numbers are deterministic operation counts, so the JSON
-// is stable across hosts.
+// is stable across hosts. The -adapt mode measures the adaptive
+// speculation ladder: the guard-sampling check cut on clean regions
+// (deterministic event counts; must stay at 2x or better), the
+// runtime re-expansion win over a stuck recovery baseline, and the
+// commutative-privatization speedup over sequential execution;
+// -adapt -quick is the CI smoke variant, which skips the wall-clock
+// acceptance checks and exits nonzero when the check cut regresses
+// more than 5% against the checked-in BENCH_adapt.json.
 //
 // With -http ADDR, any mode also serves expvar (including the live
 // gdsx metrics registry under the "gdsx" variable) and net/http/pprof
@@ -79,13 +87,18 @@ func main() {
 		"measure observability-layer overhead on expanded parallel runs and write JSON")
 	benchSched := flag.Bool("sched", false,
 		"simulate DOALL scheduler scaling (static vs work-stealing) and write JSON")
+	benchAdapt := flag.Bool("adapt", false,
+		"measure the adaptive speculation ladder (guard-sampling check cut,"+
+			" runtime re-expansion, commutative privatization) and write JSON")
 	quick := flag.Bool("quick", false,
 		"with -obs: CI smoke variant — few workloads, no hot-profiler config,"+
 			" nonzero exit when geomean overhead exceeds 15%."+
 			" With -bench-opt: measure the smoke subset and gate against"+
 			" the checked-in BENCH_opt.json."+
 			" With -guard: measure the smoke subset and gate against"+
-			" the checked-in BENCH_guard.json")
+			" the checked-in BENCH_guard.json."+
+			" With -adapt: skip the wall-clock acceptance checks and gate"+
+			" the sampling check cut against the checked-in BENCH_adapt.json")
 	httpAddr := flag.String("http", "",
 		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
 			" during the run, e.g. :8080")
@@ -196,6 +209,26 @@ func main() {
 			return
 		}
 		writeJSON(rep, *outFile, "BENCH_guard.json", "guard overhead", start)
+		return
+	}
+
+	if *benchAdapt {
+		if cfg.Scale == workloads.BenchScale {
+			fmt.Fprintln(os.Stderr, "gdsxbench: note: adaptive runs are guarded, so"+
+				" the monitor logs every access; -scale profile is the intended"+
+				" operating point for the smoke gate.")
+		}
+		rep, err := h.Adapt(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *quick {
+			gateAdaptRegression(rep, *outFile)
+			return
+		}
+		writeJSON(rep, *outFile, "BENCH_adapt.json", "adaptive-ladder measurement", start)
 		return
 	}
 
@@ -328,6 +361,46 @@ func gateGuardRegression(rep *bench.GuardReport, baseFile string) {
 		rep.Geomean, want)
 	if rep.Geomean > want*1.05 {
 		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: guard-monitor overhead regressed more"+
+			" than 5%% against %s\n", baseFile)
+		os.Exit(1)
+	}
+}
+
+// gateAdaptRegression compares a quick -adapt measurement against the
+// matching sampling rows of the checked-in BENCH_adapt.json (or the -o
+// override) and exits nonzero when the geomean check cut fell more
+// than 5%. The cut counts monitor events, not nanoseconds, so it is
+// stable across hosts; a fall means the tier ladder stopped promoting
+// clean regions (or the suspicion path started escalating them), whose
+// signature is the ratio collapsing toward 1.0x.
+func gateAdaptRegression(rep *bench.AdaptReport, baseFile string) {
+	if baseFile == "" {
+		baseFile = "BENCH_adapt.json"
+	}
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	var base bench.AdaptReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gdsxbench: %s: %v\n", baseFile, err)
+		os.Exit(1)
+	}
+	var names []string
+	for _, row := range rep.Sampling {
+		names = append(names, row.Workload)
+	}
+	want, ok := base.GeomeanOver(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: %s lacks sampling rows for the smoke subset %v\n",
+			baseFile, names)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gdsxbench: quick check cut %.2fx vs checked-in %.2fx (same subset)\n",
+		rep.SampleGeomean, want)
+	if rep.SampleGeomean < want*0.95 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: guard-sampling check cut regressed more"+
 			" than 5%% against %s\n", baseFile)
 		os.Exit(1)
 	}

@@ -23,6 +23,10 @@ func FuzzCompileRun(f *testing.F) {
 		f.Add(a.Profile(workloads.Test))
 		f.Add(a.Expose(workloads.Test))
 	}
+	for _, a := range workloads.AdaptiveAll() {
+		f.Add(a.Profile(workloads.Test))
+		f.Add(a.Expose(workloads.Test))
+	}
 	f.Add(`int main() { return 0; }`)
 	f.Add(`int g; int main() { int *p = &g; *p = 3; return g; }`)
 	f.Add(`int main() { parallel for (;;) {} }`)
@@ -63,6 +67,21 @@ int main() { int a = 2; int b = set(&a); return a * 10 + b; }`)
 				var re interp.RuntimeError
 				if !errors.As(rerr, &re) {
 					t.Fatalf("engine %v: unstructured failure %T: %v", eng, rerr, rerr)
+				}
+			}
+		}
+		// Chaos phase: the same parallel containment requirement must
+		// hold with region recovery plus injected suspicions and forced
+		// rollbacks — the ladder's snapshot/rollback/re-execute machinery
+		// must never turn a mutated source into a panic or a hang.
+		{
+			o := opts
+			o.Recover = &RecoverySpec{}
+			o.FaultPlan = &FaultPlan{SuspectEvery: 2, RollbackEvery: 3}
+			if _, rerr := prog.Run(o); rerr != nil {
+				var re interp.RuntimeError
+				if !errors.As(rerr, &re) {
+					t.Fatalf("chaos run: unstructured failure %T: %v", rerr, rerr)
 				}
 			}
 		}

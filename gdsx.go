@@ -124,6 +124,19 @@ type RunOptions struct {
 	// (0 = unbounded). With Recover set, a stuck region is rolled back
 	// and re-executed sequentially; without it the run fails.
 	RegionTimeout time.Duration
+	// FaultPlan injects failures into otherwise-healthy parallel
+	// regions (spurious guard suspicions, forced rollbacks) for chaos
+	// testing of the recovery ladder. Inert without Recover: the
+	// injected faults surface only at the region-commit decision, which
+	// only recovery-enabled runs make. See interp.FaultPlan.
+	FaultPlan *FaultPlan
+	// Sample enables tiered guard sampling for guarded runs (GuardedRun
+	// and the adaptive driver): regions start fully guarded and, after
+	// a clean streak, drop to checking every k-th iteration, escalating
+	// back to full guarding on any suspicious access. &TierSpec{}
+	// selects the defaults; nil keeps every region fully guarded.
+	// Ignored by plain Run (no guard monitor to sample).
+	Sample *TierSpec
 	// Obs attaches the runtime observability layer (package obs): an
 	// event tracer with a Chrome trace-event exporter, a metrics
 	// registry, and an optional per-access hot-site profiler. Nil
@@ -158,6 +171,9 @@ func NewObserver(hot bool) *Observer {
 
 // RecoverySpec re-exports the interpreter's recovery configuration.
 type RecoverySpec = interp.RecoverySpec
+
+// FaultPlan re-exports the interpreter's chaos-injection plan.
+type FaultPlan = interp.FaultPlan
 
 // RegionStats re-exports the interpreter's per-region health record.
 type RegionStats = interp.RegionStats
@@ -242,6 +258,7 @@ func (o RunOptions) interpOptions() interp.Options {
 		OptProfile:      o.OptProfile,
 		Recover:         o.Recover,
 		RegionTimeout:   o.RegionTimeout,
+		FaultPlan:       o.FaultPlan,
 		Obs:             o.Obs,
 	}
 }

@@ -6,7 +6,17 @@ import (
 
 	"gdsx/internal/guard"
 	"gdsx/internal/interp"
+	"gdsx/internal/rtpriv"
 )
+
+// TierSpec re-exports the guard monitor's sampling-tier configuration.
+type TierSpec = guard.TierSpec
+
+// TierStats re-exports the per-region sampling-tier health record.
+type TierStats = guard.TierStats
+
+// CommStats re-exports the commutative privatizer's statistics.
+type CommStats = rtpriv.CommStats
 
 // GuardedResult is the outcome of a guarded parallel execution.
 type GuardedResult struct {
@@ -32,14 +42,35 @@ type GuardedResult struct {
 	// re-executed sequentially inside the guarded run (always 0 without
 	// RunOptions.Recover).
 	Recovered int
+	// Suspicions counts rollbacks caused by sampled-tier suspicions
+	// rather than confirmed violations (always 0 without
+	// RunOptions.Sample). Suspicions charge no demotion strike.
+	Suspicions int
 	// Regions holds the per-region recovery health records (rollbacks,
 	// demotions, snapshot cost) when the run used RunOptions.Recover.
 	Regions []RegionStats
+	// Tiers holds the per-region guard-sampling tier records when the
+	// run used RunOptions.Sample.
+	Tiers []TierStats
+	// Comm holds the commutative privatizer's statistics when the
+	// transformation planted __comm_note markers (see
+	// expand.Options.Commutative); nil otherwise.
+	Comm *CommStats
 	// Expanded is the compiled expanded program the guarded run
 	// executed. Hot-site profiles attribute cost to the expanded
 	// program's access sites; resolve them against Expanded.Info (e.g.
 	// via HotSiteFrames).
 	Expanded *Program
+}
+
+// commClasses reports how many commutative classes the transformation
+// handed to the runtime privatizer.
+func (tr *TransformResult) commClasses() int {
+	n := 0
+	for _, r := range tr.Reports {
+		n += r.CommClasses
+	}
+	return n
 }
 
 // GuardedRun executes a transformed program under the guarded-execution
@@ -63,6 +94,22 @@ type GuardedResult struct {
 //     the native program re-executes sequentially — correct, but
 //     O(program) cost for an O(region) fault.
 //
+// With opts.Sample set, each region additionally moves through guard
+// sampling tiers: after a clean streak the monitor checks only every
+// k-th iteration (k escalating geometrically), and any suspicious
+// access — evidence that could be a sampling artifact — rolls the
+// region back without a demotion strike and restores full guarding
+// before the next region entry. Checkpoint/rollback remains the safety
+// net: a region that commits under an unsampled violation is corrupt
+// only until the tier realigns, which the escalation guarantees within
+// k executions.
+//
+// If the transformation planted commutative-privatization markers
+// (expand.Options.Commutative), the commutative runtime is attached:
+// reduction-shaped accumulators get per-thread identity-initialized
+// copies merged at region exit, so their carried flow never reaches
+// the monitor.
+//
 // Caller-supplied opts.Hooks are chained after the monitor's hooks
 // (monitor first), so both observe the run; on the whole-program
 // fallback the caller's hooks observe the sequential re-execution
@@ -82,10 +129,34 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 	if err != nil {
 		return nil, fmt.Errorf("gdsx: compiling transformed program: %w", err)
 	}
-	mon := guard.New(guard.Config{Threads: threads, Info: exp.Info, Obs: opts.Obs})
+	var tiers *guard.TierController
+	if opts.Sample != nil {
+		tiers = guard.NewTierController(*opts.Sample)
+	}
+	mon := guard.New(guard.Config{Threads: threads, Info: exp.Info, Obs: opts.Obs, Tiers: tiers})
+	var comm *rtpriv.CommutativeRuntime
+	chained := opts.Hooks
+	if tr.commClasses() > 0 {
+		comm = rtpriv.NewCommutative()
+		chained = interp.ChainHooks(comm.Hooks(), chained)
+	}
 	gopts := opts
-	gopts.Hooks = interp.ChainHooks(mon.Hooks(), opts.Hooks)
-	out, err := exp.Run(gopts)
+	gopts.Hooks = interp.ChainHooks(mon.Hooks(), chained)
+	m := exp.NewMachine(gopts)
+	if comm != nil {
+		comm.Bind(m)
+	}
+	out, err := m.Run()
+	finish := func(res *GuardedResult) *GuardedResult {
+		if tiers != nil {
+			res.Tiers = tiers.Snapshot()
+		}
+		if comm != nil {
+			s := comm.Stats()
+			res.Comm = &s
+		}
+		return res
+	}
 	if err == nil {
 		res := &GuardedResult{
 			Result:     out,
@@ -98,21 +169,23 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 		}
 		for _, r := range out.Regions {
 			res.Recovered += r.Rollbacks
+			res.Suspicions += r.Suspicions
 		}
-		return res, nil
+		return finish(res), nil
 	}
 	var ve *guard.ViolationError
-	if !errors.As(err, &ve) {
+	var se *interp.SuspicionError
+	if !errors.As(err, &ve) && !errors.As(err, &se) {
 		return nil, err // a genuine runtime error, not a guard abort
 	}
-	// Dependence violation with no region recovery configured: discard
-	// the expanded run (its machine and memory are dropped wholesale)
-	// and re-execute the native program sequentially for the correct
-	// output. The caller's hooks observe this run; the monitor's do
-	// not (there is nothing left to guard). The fault injection is
-	// disarmed — its countdown already elapsed against the parallel
-	// attempt's allocation sequence, and the native program allocates
-	// differently.
+	// Dependence violation (or an unrecoverable sampled-tier suspicion)
+	// with no region recovery configured: discard the expanded run (its
+	// machine and memory are dropped wholesale) and re-execute the
+	// native program sequentially for the correct output. The caller's
+	// hooks observe this run; the monitor's do not (there is nothing
+	// left to guard). The fault injection is disarmed — its countdown
+	// already elapsed against the parallel attempt's allocation
+	// sequence, and the native program allocates differently.
 	sopts := opts // keeps opts.Hooks: the caller's hooks see the fallback
 	sopts.ForceSequential = true
 	sopts.FailAlloc = 0
@@ -120,11 +193,16 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 	if serr != nil {
 		return nil, fmt.Errorf("gdsx: sequential re-execution after guard abort: %w", serr)
 	}
-	return &GuardedResult{
+	res := &GuardedResult{
 		Result:     seq,
-		Violation:  ve.Report,
 		Violations: mon.Reports(),
 		FellBack:   true,
 		Expanded:   exp,
-	}, nil
+	}
+	if ve != nil {
+		res.Violation = ve.Report
+	} else {
+		res.Suspicions = 1
+	}
+	return finish(res), nil
 }

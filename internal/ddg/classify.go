@@ -14,6 +14,16 @@ type Class struct {
 	HasDownwardExposed bool
 	HasCarriedFlow     bool
 	HasCarriedAntiOut  bool
+
+	// Commutative marks a shared class whose carried flow is entirely
+	// reduction-shaped: every site is a commutative update under the
+	// same operator (Options.CommSites) and every carried dependence
+	// incident to the class stays inside it — no outside access reads
+	// or writes the locations mid-loop. Such a class cannot be
+	// expanded, but each thread can update a private identity-
+	// initialized copy and merge at region exit.
+	Commutative bool
+	CommOp      CommOp
 }
 
 // Options tune the classification.
@@ -25,6 +35,14 @@ type Options struct {
 	// it is the relaxation the paper mentions after Definition 5,
 	// trading memory for uniformity; it is benchmarked as an ablation.
 	RequireCarriedAntiOrOutput bool
+
+	// CommSites maps access-site IDs to the commutative-update operator
+	// the frontend detected at the site (+=/-=/++/-- are CommAdd,
+	// guarded min/max updates CommMin/CommMax). Classes whose every
+	// site carries the same operator — and whose carried dependences
+	// stay inside the class — are marked Commutative. Nil or empty
+	// disables the marking.
+	CommSites map[int]CommOp
 }
 
 // DefaultOptions matches the paper's Definition 5 exactly.
@@ -136,7 +154,43 @@ func Classify(g *Graph, opts Options) *Classification {
 		}
 		cls.Classes = append(cls.Classes, c)
 	}
+	if len(opts.CommSites) > 0 {
+		for _, c := range cls.Classes {
+			markCommutative(g, cls, c, opts.CommSites)
+		}
+	}
 	return cls
+}
+
+// markCommutative decides whether a shared class is a privatizable
+// reduction: it must carry a flow dependence (the accumulator pattern —
+// a private class needs no merge machinery), every site must be a
+// commutative update under one operator, and every carried dependence
+// touching the class must stay inside it, which proves no outside
+// access observes or overwrites the accumulator's locations mid-loop
+// (e.g. a[i] += a[i-1] is rejected: the carried flow into the stencil
+// read crosses the class boundary).
+func markCommutative(g *Graph, cls *Classification, c *Class, comm map[int]CommOp) {
+	if c.Private || !c.HasCarriedFlow {
+		return
+	}
+	op := CommNone
+	for _, s := range c.Sites {
+		o := comm[s]
+		if o == CommNone || (op != CommNone && o != op) {
+			return
+		}
+		op = o
+	}
+	for e := range g.edges {
+		if !e.Carried {
+			continue
+		}
+		if (cls.siteClass[e.Src] == c) != (cls.siteClass[e.Dst] == c) {
+			return
+		}
+	}
+	c.Commutative, c.CommOp = true, op
 }
 
 // Breakdown categorizes the dynamic accesses of the loop for the

@@ -1,0 +1,65 @@
+package ddg
+
+// CommOp identifies the merge operator of a commutative-update access
+// class: reduction-shaped updates (sum/count accumulation, running
+// min/max) whose cross-iteration order does not affect the final
+// value, so each thread may apply them to a private identity-
+// initialized copy and the copies merge at region exit. The operator
+// codes travel through the __comm_note marker (see ast.BCommNote) as
+// plain integers.
+type CommOp int
+
+// Commutative merge operators. Only integer element types participate:
+// floating-point accumulation is mathematically commutative but not
+// associative in finite precision, so privatizing it would change the
+// bit-exact sequential result.
+const (
+	CommNone CommOp = iota
+	// CommAdd merges by addition; += and -= updates and ++/-- counters
+	// (a -= accumulates a negative delta, which addition merges
+	// correctly).
+	CommAdd
+	// CommMin merges by minimum (running-minimum updates).
+	CommMin
+	// CommMax merges by maximum (running-maximum updates).
+	CommMax
+)
+
+func (op CommOp) String() string {
+	switch op {
+	case CommAdd:
+		return "add"
+	case CommMin:
+		return "min"
+	case CommMax:
+		return "max"
+	}
+	return "none"
+}
+
+// Identity returns the identity element of op for a signed integer
+// element of esz bytes: merging the identity into any value leaves the
+// value unchanged, so untouched cells of a private copy are no-ops at
+// merge time.
+func (op CommOp) Identity(esz int64) int64 {
+	switch op {
+	case CommMin:
+		// Largest representable value: min(x, id) == x.
+		return 1<<(esz*8-1) - 1
+	case CommMax:
+		// Smallest representable value: max(x, id) == x.
+		return -(1 << (esz*8 - 1))
+	}
+	return 0 // CommAdd
+}
+
+// Merge combines a shared value with a private copy's value under op.
+func (op CommOp) Merge(shared, priv int64) int64 {
+	switch op {
+	case CommMin:
+		return min(shared, priv)
+	case CommMax:
+		return max(shared, priv)
+	}
+	return shared + priv // CommAdd
+}

@@ -1,0 +1,169 @@
+package expand
+
+import (
+	"fmt"
+	"sort"
+
+	"gdsx/internal/ast"
+	"gdsx/internal/ctypes"
+	"gdsx/internal/ddg"
+	"gdsx/internal/token"
+)
+
+// Commutative-update privatization. A class the classifier marked
+// Commutative (every site the same reduction operator, every carried
+// dependence internal to the class) cannot be expanded — its carried
+// flow is real — but it does not need to be: each thread can apply its
+// updates to a private identity-initialized copy and the copies merge
+// under the operator at region exit. That machinery lives in the
+// runtime (rtpriv); the pass's job is to leave the accumulator
+// unexpanded and to arm the runtime by planting a
+//
+//	__comm_note(base, span, esz, op);
+//
+// marker directly before the parallel loop, so every region entry
+// re-announces the accumulator's geometry and operator.
+//
+// Only statically sized named accumulators participate: an integer
+// scalar (the note takes its address, which also pins it to simulated
+// memory so the redirection hook sees the accesses) or a fixed-size
+// integer array (histograms). Pointer-based accumulators would need
+// the allocation geometry at note time and are left to the guard.
+
+// commPlan is one marker to plant.
+type commPlan struct {
+	lc   *loopCtx
+	sym  *ast.Symbol
+	op   ddg.CommOp
+	span int64 // total accumulator bytes
+	esz  int64 // element bytes (merge granularity)
+}
+
+// planCommNotes selects the commutative classes the runtime can
+// privatize. Runs after computeExpansionSet: an object the expansion
+// already privatizes (reachable from thread-private accesses of
+// another loop) keeps the expansion — redirecting those accesses
+// requires the copies to exist — and forfeits the marker.
+func (p *pass) planCommNotes() {
+	if !p.opts.Commutative {
+		return
+	}
+	seen := map[*ast.Symbol]bool{} // per loop below
+	for i := range p.loops {
+		lc := &p.loops[i]
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, c := range lc.an.Class.Classes {
+			if !c.Commutative {
+				continue
+			}
+			sym := p.commTarget(c)
+			if sym == nil || seen[sym] || p.expandSet[objVar(sym)] {
+				continue
+			}
+			span, esz, ok := commGeometry(sym.Type)
+			if !ok {
+				continue
+			}
+			seen[sym] = true
+			p.commPlans = append(p.commPlans, commPlan{lc: lc, sym: sym, op: c.CommOp, span: span, esz: esz})
+			p.report.CommClasses++
+			p.report.CommNotes = append(p.report.CommNotes,
+				fmt.Sprintf("loop %d: %s %s span=%d esz=%d", lc.an.ID, sym.Name, c.CommOp, span, esz))
+		}
+	}
+	sort.Strings(p.report.CommNotes)
+}
+
+// commTarget resolves the single named variable every site of the
+// class designates, or nil.
+func (p *pass) commTarget(c *ddg.Class) *ast.Symbol {
+	var sym *ast.Symbol
+	for _, site := range c.Sites {
+		as := p.in.Info.Accesses[site]
+		if as == nil {
+			return nil
+		}
+		var s *ast.Symbol
+		switch n := as.Node.(type) {
+		case *ast.Ident:
+			s = n.Sym
+		case *ast.Index:
+			if id, ok := n.X.(*ast.Ident); ok && id.Sym != nil && id.Sym.Type != nil &&
+				id.Sym.Type.Kind == ctypes.Array {
+				s = id.Sym
+			}
+		}
+		if s == nil || (sym != nil && s != sym) {
+			return nil
+		}
+		sym = s
+	}
+	if sym == nil || p.bodyDecls[sym] {
+		return nil
+	}
+	switch sym.Kind {
+	case ast.SymGlobal, ast.SymLocal:
+		return sym
+	}
+	return nil
+}
+
+// commGeometry returns the accumulator's (span, esz) or ok=false when
+// the type is not a statically sized integer scalar or array.
+func commGeometry(t *ctypes.Type) (span, esz int64, ok bool) {
+	if t == nil || !t.HasStaticSize() {
+		return 0, 0, false
+	}
+	elem := t
+	if t.Kind == ctypes.Array {
+		elem = t.Elem
+	}
+	if !elem.IsInteger() {
+		return 0, 0, false
+	}
+	return t.Size(), elem.Size(), true
+}
+
+// insertCommNotes plants the planned markers directly before their
+// loops.
+func (p *pass) insertCommNotes() error {
+	byLoop := map[*ast.For][]ast.Stmt{}
+	for _, pl := range p.commPlans {
+		base := ast.Expr(ident(pl.sym.Name))
+		if pl.sym.Type.Kind != ctypes.Array {
+			base = &ast.Unary{Op: token.AND, X: base}
+		}
+		byLoop[pl.lc.stmt] = append(byLoop[pl.lc.stmt], &ast.ExprStmt{X: &ast.Call{
+			Fun:  ident("__comm_note"),
+			Args: []ast.Expr{base, intLit(pl.span), intLit(pl.esz), intLit(int64(pl.op))},
+		}})
+	}
+	remaining := len(byLoop)
+	ast.Inspect(p.in.Prog, func(n ast.Node) bool {
+		blk, ok := n.(*ast.Block)
+		if !ok || remaining == 0 {
+			return remaining > 0
+		}
+		for i := 0; i < len(blk.Stmts); i++ {
+			loop, ok := blk.Stmts[i].(*ast.For)
+			if !ok {
+				continue
+			}
+			notes := byLoop[loop]
+			if len(notes) == 0 {
+				continue
+			}
+			delete(byLoop, loop)
+			remaining--
+			blk.Stmts = append(blk.Stmts[:i], append(notes, blk.Stmts[i:]...)...)
+			i += len(notes)
+		}
+		return true
+	})
+	if remaining > 0 {
+		return fmt.Errorf("expand: could not place %d commutative note(s) (loop not directly inside a block)", remaining)
+	}
+	return nil
+}

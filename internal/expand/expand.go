@@ -105,6 +105,17 @@ type Options struct {
 	// the marker calls change the generated code and therefore the
 	// deterministic instruction counters.
 	GuardNotes bool
+
+	// Commutative enables runtime privatization of reduction-shaped
+	// classes (ddg.Class.Commutative): the accumulator is left
+	// unexpanded and a __comm_note(base, span, esz, op) marker is
+	// planted before the loop so the runtime's commutative privatizer
+	// can give each thread an identity-initialized copy and merge at
+	// region exit. Requires the classifier to have run with
+	// ddg.Options.CommSites populated, and the executing machine to
+	// bind the commutative runtime — without it the marker is inert and
+	// the carried flow remains (caught by guarded execution as before).
+	Commutative bool
 }
 
 // Optimized returns the §3.4-optimized configuration (paper Fig. 9b).
@@ -163,6 +174,10 @@ type Report struct {
 	// LayoutUsed is the copy layout actually applied (relevant for
 	// Adaptive).
 	LayoutUsed Layout
+	// CommClasses counts the commutative classes handed to the runtime
+	// privatizer; CommNotes describes the planted markers.
+	CommClasses int
+	CommNotes   []string
 }
 
 // Expand applies the transformation for the program's parallel loops,
@@ -244,6 +259,8 @@ type pass struct {
 	clonePairs [][2]ast.Expr
 	// hoists holds the hoisted base computations (see hoist.go).
 	hoists map[hoistKey]*hoistInfo
+	// commPlans are the commutative-privatization markers to plant.
+	commPlans []commPlan
 
 	// fat types per original pointee type string.
 	fatTypes map[string]*ctypes.Type
@@ -277,6 +294,7 @@ func (p *pass) run() error {
 	// Count Table 5 structures before any rewriting invalidates the
 	// type annotations countStructures relies on.
 	p.report.Structures = p.countStructures()
+	p.planCommNotes()
 	if err := p.computePromotion(); err != nil {
 		return err
 	}
@@ -297,6 +315,9 @@ func (p *pass) run() error {
 	}
 	p.insertHoists()
 	p.applyReplacements()
+	if err := p.insertCommNotes(); err != nil {
+		return err
+	}
 	for _, lc := range p.loops {
 		if lc.stmt.Par != ast.DOACROSS {
 			continue

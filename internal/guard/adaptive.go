@@ -1,0 +1,214 @@
+// Adaptive guard sampling tiers: regions start fully guarded, and once
+// they have proven clean for a streak of executions the monitor drops
+// to sampled checking — only every k-th iteration's accesses are
+// logged, with k escalating geometrically while the region stays
+// clean. Sampling keeps the two hard rules sound (a foreign-copy
+// access is a property of the single access; an unsynchronized
+// conflict is witnessed by two logged events and no missing event can
+// excuse it), while evidence for the two flow-shaped rules can be a
+// sampling artifact (the true data source may be an unlogged write),
+// so under a sampled tier those demote to *suspicions*: the region
+// rolls back and re-executes sequentially — output stays correct
+// without a strike — and the tier escalates back to full guarding,
+// which settles the question on the next execution. The sampling phase
+// rotates every execution, so evidence parked on unsampled iterations
+// is picked up within at most k executions of the region.
+
+package guard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TierSpec parameterizes the sampling ladder. The zero value of any
+// field selects its default.
+type TierSpec struct {
+	// PromoteAfter is the clean-execution streak required to leave full
+	// guarding for the first sampled tier, and to escalate k at a
+	// sampled tier (default 3).
+	PromoteAfter int
+	// SampleK is the sampling period of the first sampled tier: one in
+	// k iterations is checked (default 4; values < 2 mean 2).
+	SampleK int
+	// MaxK caps the geometric escalation of the sampling period
+	// (default 64).
+	MaxK int
+}
+
+func (s TierSpec) promoteAfter() int {
+	if s.PromoteAfter <= 0 {
+		return 3
+	}
+	return s.PromoteAfter
+}
+
+func (s TierSpec) sampleK() int {
+	if s.SampleK < 2 {
+		if s.SampleK == 0 {
+			return 4
+		}
+		return 2
+	}
+	return s.SampleK
+}
+
+func (s TierSpec) maxK() int {
+	k := s.MaxK
+	if k <= 0 {
+		k = 64
+	}
+	if k < s.sampleK() {
+		k = s.sampleK()
+	}
+	return k
+}
+
+// tierState is the ladder position of one region (keyed by loop ID).
+type tierState struct {
+	k     int // current sampling period; 1 = full guarding
+	clean int // clean-execution streak at the current tier
+	execs int // total planned executions (rotates the sampling phase)
+	// promoteAt is the streak required to leave full guarding; it
+	// doubles on every suspicion (a region that keeps looking
+	// suspicious has to re-earn trust), capped at 64x the spec value.
+	promoteAt int
+
+	suspicions  int
+	violations  int
+	escalations int // demotions back to full guarding
+	promotions  int // moves to a sampled tier or a higher k
+}
+
+// TierController holds the sampling-ladder state of every region,
+// shared across the program runs of an adaptive session so tier
+// positions survive re-expansion. The zero value is not usable; create
+// one with NewTierController.
+type TierController struct {
+	spec TierSpec
+	mu   sync.Mutex
+	loop map[int]*tierState
+}
+
+// NewTierController creates a controller for the given spec.
+func NewTierController(spec TierSpec) *TierController {
+	return &TierController{spec: spec, loop: map[int]*tierState{}}
+}
+
+func (tc *TierController) state(loop int) *tierState {
+	st := tc.loop[loop]
+	if st == nil {
+		st = &tierState{k: 1, promoteAt: tc.spec.promoteAfter()}
+		tc.loop[loop] = st
+	}
+	return st
+}
+
+// plan returns the sampling period and phase for the next execution of
+// the region: k == 1 means full guarding, k > 1 logs only iterations
+// with iter % k == phase (plus every definition event). The phase
+// rotates per execution so no iteration stays unsampled forever.
+func (tc *TierController) plan(loop int) (k int, phase int64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	st := tc.state(loop)
+	st.execs++
+	if st.k <= 1 {
+		return 1, 0
+	}
+	return st.k, int64((st.execs - 1) % st.k)
+}
+
+// noteClean records a clean execution: a long enough streak promotes
+// the region from full guarding to the first sampled tier, or doubles
+// k at a sampled tier (up to MaxK).
+func (tc *TierController) noteClean(loop int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	st := tc.state(loop)
+	st.clean++
+	if st.k <= 1 {
+		if st.clean >= st.promoteAt {
+			st.k = tc.spec.sampleK()
+			st.clean = 0
+			st.promotions++
+		}
+		return
+	}
+	if st.clean >= tc.spec.promoteAfter() && st.k < tc.spec.maxK() {
+		st.k = min(st.k*2, tc.spec.maxK())
+		st.clean = 0
+		st.promotions++
+	}
+}
+
+// noteSuspicion escalates the region back to full guarding after a
+// sampled-tier suspicion and doubles the streak it must re-earn.
+func (tc *TierController) noteSuspicion(loop int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	st := tc.state(loop)
+	st.suspicions++
+	if st.k > 1 {
+		st.escalations++
+	}
+	st.k = 1
+	st.clean = 0
+	if st.promoteAt < 64*tc.spec.promoteAfter() {
+		st.promoteAt *= 2
+	}
+}
+
+// noteViolation escalates the region back to full guarding after a
+// confirmed violation (strike accounting is the recovery controller's
+// job, not the tier's).
+func (tc *TierController) noteViolation(loop int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	st := tc.state(loop)
+	st.violations++
+	if st.k > 1 {
+		st.escalations++
+	}
+	st.k = 1
+	st.clean = 0
+}
+
+// TierStats is the published ladder position of one region.
+type TierStats struct {
+	Loop int `json:"loop"`
+	// Tier is "full" or "sampled/k<period>".
+	Tier string `json:"tier"`
+	K    int    `json:"k"`
+	// CleanStreak is the current clean-execution streak.
+	CleanStreak int `json:"clean_streak"`
+	Suspicions  int `json:"suspicions,omitempty"`
+	Violations  int `json:"violations,omitempty"`
+	Escalations int `json:"escalations,omitempty"`
+	Promotions  int `json:"promotions,omitempty"`
+}
+
+// Snapshot returns the ladder position of every region, sorted by loop
+// ID.
+func (tc *TierController) Snapshot() []TierStats {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]TierStats, 0, len(tc.loop))
+	for id, st := range tc.loop {
+		ts := TierStats{
+			Loop: id, K: st.k, Tier: "full",
+			CleanStreak: st.clean,
+			Suspicions:  st.suspicions,
+			Violations:  st.violations,
+			Escalations: st.escalations,
+			Promotions:  st.promotions,
+		}
+		if st.k > 1 {
+			ts.Tier = fmt.Sprintf("sampled/k%d", st.k)
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loop < out[j].Loop })
+	return out
+}

@@ -41,6 +41,7 @@
 package guard
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -91,6 +92,14 @@ type Config struct {
 	// log-size histograms, and replay/violation counters. Nil disables
 	// the feed.
 	Obs *obs.Observer
+
+	// Tiers attaches the adaptive sampling-tier controller (see
+	// adaptive.go): regions that stay clean drop to sampled checking,
+	// and flow-shaped evidence seen under sampling raises a suspicion
+	// (rollback + sequential re-execution, no strike) instead of a
+	// violation. Nil keeps every region fully guarded — the pre-adaptive
+	// behaviour.
+	Tiers *TierController
 }
 
 // note records the copy geometry of one expanded structure:
@@ -119,6 +128,13 @@ type Monitor struct {
 	nthreads    int
 	tlogs       []tlog
 	regionNotes []note
+
+	// Sampling plan of the active region (from Config.Tiers):
+	// sampleK <= 1 is full guarding, otherwise only iterations with
+	// Iter % sampleK == samplePhase are logged (plus every Def event,
+	// which kills byte history and must never be missed).
+	sampleK     int
+	samplePhase int64
 
 	// chunkPool recycles sealed log chunks across regions (guarded by
 	// mu); steady-state logging allocates nothing.
@@ -194,6 +210,10 @@ func (m *Monitor) Hooks() *interp.Hooks {
 		ParallelStart:  m.parallelStart,
 		ParallelEnd:    m.parallelEnd,
 		ParallelCancel: m.parallelCancel,
+		// Guarded regions must not run under dynamic self-scheduling,
+		// whose placement makes detection timing-dependent; the machine
+		// substitutes work stealing and reports a structured warning.
+		Guarded: true,
 	}
 }
 
@@ -246,6 +266,10 @@ func (m *Monitor) parallelStart(loopID, nthreads int) {
 	m.mu.Unlock()
 	m.loop = loopID
 	m.nthreads = nthreads
+	m.sampleK, m.samplePhase = 1, 0
+	if tc := m.cfg.Tiers; tc != nil {
+		m.sampleK, m.samplePhase = tc.plan(loopID)
+	}
 	if cap(m.tlogs) >= nthreads {
 		m.tlogs = m.tlogs[:nthreads]
 	} else {
@@ -259,6 +283,13 @@ func (m *Monitor) parallelStart(loopID, nthreads int) {
 // outside a parallel region the monitor is inert.
 func (m *Monitor) observe(ev interp.Access) {
 	if !m.active || ev.Tid >= len(m.tlogs) {
+		return
+	}
+	// Sampled tier: whole iterations are skipped (never single accesses,
+	// which would tear write/read pairs within an iteration), except
+	// definition events — a Def kills byte history and drops stale
+	// expansion notes, and missing one would manufacture false evidence.
+	if m.sampleK > 1 && !ev.Def && ev.Iter%int64(m.sampleK) != m.samplePhase {
 		return
 	}
 	l := &m.tlogs[ev.Tid]
@@ -312,9 +343,37 @@ func (m *Monitor) parallelEnd(loopID int) {
 	}
 	m.active = false
 	rep := m.replay()
-	m.emitVerdict(loopID, rep)
+	// Flow-shaped evidence found under a sampled tier may be a sampling
+	// artifact (the true data source could be an unlogged write): demote
+	// it to a suspicion — rollback + sequential re-execution without a
+	// strike — and escalate the region back to full guarding, which
+	// settles the question on the next execution. Hard evidence
+	// (foreign-copy, unsynchronized-conflict) stays a violation at any
+	// tier.
+	suspicion := rep != nil && m.sampleK > 1 && !rep.hardEvidence()
+	m.emitVerdict(loopID, rep, suspicion)
 	m.recycleLogs()
-	if rep != nil {
+	tc := m.cfg.Tiers
+	switch {
+	case rep == nil:
+		if tc != nil {
+			tc.noteClean(loopID)
+		}
+	case suspicion:
+		if tc != nil {
+			tc.noteSuspicion(loopID)
+		}
+		detail := "flow-shaped evidence under sampled guarding"
+		if len(rep.Violations) > 0 {
+			v := rep.Violations[0]
+			detail = fmt.Sprintf("[%s] site %d %s at %s (iteration %d, thread %d)",
+				v.Rule, v.Site, v.Text, v.Pos, v.Iter, v.Tid)
+		}
+		panic(interp.Abort{Err: &interp.SuspicionError{Loop: loopID, Detail: detail}})
+	default:
+		if tc != nil {
+			tc.noteViolation(loopID)
+		}
 		m.reports = append(m.reports, rep)
 		panic(interp.Abort{Err: &ViolationError{Report: rep}})
 	}
@@ -325,7 +384,7 @@ func (m *Monitor) parallelEnd(loopID int) {
 // violation's rule) plus replay/log-size/violation metrics. It runs
 // before the violation panic, so an aborted region's verdict is still
 // recorded.
-func (m *Monitor) emitVerdict(loopID int, rep *Report) {
+func (m *Monitor) emitVerdict(loopID int, rep *Report, suspicion bool) {
 	o := m.cfg.Obs
 	if o == nil {
 		return
@@ -339,9 +398,20 @@ func (m *Monitor) emitVerdict(loopID int, rep *Report) {
 	}
 	o.Counter("guard.replays").Inc()
 	o.Counter("guard.events_logged").Add(logged)
+	if m.sampleK > 1 {
+		o.Counter("guard.sampled_replays").Inc()
+	}
 	label := "clean"
 	var total int64
-	if rep != nil {
+	switch {
+	case suspicion:
+		total = int64(rep.Total)
+		o.Counter("guard.suspicions").Inc()
+		label = "suspicion"
+		if len(rep.Violations) > 0 {
+			label = "suspicion:" + rep.Violations[0].Rule
+		}
+	case rep != nil:
 		total = int64(rep.Total)
 		o.Counter("guard.violations").Add(total)
 		o.Counter("guard.violating_regions").Inc()

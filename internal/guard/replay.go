@@ -155,6 +155,10 @@ func (m *Monitor) replay() *Report {
 	seen := map[vioKey]bool{}
 	record := func(rule string, ev interp.Access, addr int64, cp int, other *interp.Access) {
 		rep.Total++
+		if rep.ByRule == nil {
+			rep.ByRule = map[string]int{}
+		}
+		rep.ByRule[rule]++
 		key := vioKey{rule: rule, site: ev.Site}
 		if other != nil {
 			key.other = other.Site

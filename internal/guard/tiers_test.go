@@ -1,0 +1,104 @@
+package guard
+
+import "testing"
+
+// TestTierLadder walks one region through the sampling ladder: full
+// guarding until a clean streak, promotion to the first sampled tier
+// with a rotating phase, escalation back to full on a suspicion (with
+// a doubled re-earn streak), re-promotion, and escalation on a
+// confirmed violation.
+func TestTierLadder(t *testing.T) {
+	tc := NewTierController(TierSpec{}) // defaults: promote after 3, k=4
+
+	if k, _ := tc.plan(1); k != 1 {
+		t.Fatalf("fresh region plans k=%d, want 1 (full guarding)", k)
+	}
+	for i := 0; i < 3; i++ {
+		tc.noteClean(1)
+	}
+	k, p1 := tc.plan(1)
+	if k != 4 {
+		t.Fatalf("after 3 clean executions k=%d, want 4", k)
+	}
+	_, p2 := tc.plan(1)
+	_, p3 := tc.plan(1)
+	if p2 != (p1+1)%4 || p3 != (p2+1)%4 {
+		t.Errorf("phase does not rotate per execution: %d, %d, %d", p1, p2, p3)
+	}
+
+	tc.noteSuspicion(1)
+	if k, _ := tc.plan(1); k != 1 {
+		t.Fatalf("after a suspicion k=%d, want 1 (escalated to full)", k)
+	}
+	// The promotion streak doubled: 3 cleans no longer suffice.
+	for i := 0; i < 3; i++ {
+		tc.noteClean(1)
+	}
+	if k, _ := tc.plan(1); k != 1 {
+		t.Fatal("region re-promoted before re-earning the doubled streak")
+	}
+	for i := 0; i < 3; i++ {
+		tc.noteClean(1)
+	}
+	if k, _ := tc.plan(1); k != 4 {
+		t.Fatal("region not re-promoted after the doubled streak")
+	}
+
+	// A clean streak at a sampled tier escalates k geometrically, up to
+	// the cap.
+	for i := 0; i < 3; i++ {
+		tc.noteClean(1)
+	}
+	if k, _ := tc.plan(1); k != 8 {
+		t.Fatalf("after a clean sampled streak k=%d, want 8", k)
+	}
+	for i := 0; i < 30; i++ {
+		tc.noteClean(1)
+	}
+	if k, _ := tc.plan(1); k != 64 {
+		t.Fatalf("escalation not capped: k=%d, want 64", k)
+	}
+
+	tc.noteViolation(1)
+	if k, _ := tc.plan(1); k != 1 {
+		t.Fatal("confirmed violation did not restore full guarding")
+	}
+
+	snaps := tc.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot has %d regions, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Loop != 1 || s.Tier != "full" || s.K != 1 {
+		t.Errorf("snapshot %+v: want loop 1 at the full tier", s)
+	}
+	if s.Suspicions != 1 || s.Violations != 1 {
+		t.Errorf("snapshot %+v: want 1 suspicion and 1 violation", s)
+	}
+	if s.Escalations != 2 {
+		t.Errorf("snapshot records %d escalations, want 2", s.Escalations)
+	}
+	if s.Promotions < 2 {
+		t.Errorf("snapshot records %d promotions, want at least 2", s.Promotions)
+	}
+}
+
+// TestTierSpecDefaults checks the zero-value backfill.
+func TestTierSpecDefaults(t *testing.T) {
+	var s TierSpec
+	if s.promoteAfter() != 3 || s.sampleK() != 4 || s.maxK() != 64 {
+		t.Errorf("zero spec resolves to promote=%d k=%d max=%d, want 3/4/64",
+			s.promoteAfter(), s.sampleK(), s.maxK())
+	}
+	s = TierSpec{SampleK: 1, MaxK: 2}
+	if s.sampleK() != 2 {
+		t.Errorf("SampleK=1 resolves to %d, want 2", s.sampleK())
+	}
+	if s.maxK() != 2 {
+		t.Errorf("MaxK=2 resolves to %d, want 2", s.maxK())
+	}
+	s = TierSpec{SampleK: 8, MaxK: 4}
+	if s.maxK() != 8 {
+		t.Errorf("MaxK below SampleK resolves to %d, want 8", s.maxK())
+	}
+}

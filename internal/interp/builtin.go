@@ -110,6 +110,15 @@ func (t *thread) evalCall(f *frame, x *ast.Call) value {
 			h.Expand(base, span, esz)
 		}
 		return value{}
+	case ast.BCommNote:
+		// Commutative-update marker: arms per-thread privatization of
+		// [base, base+span) for the next parallel region, merging under
+		// op at region exit. Inert without a Commute consumer.
+		base, span, esz, op := arg(0).I, arg(1).I, arg(2).I, arg(3).I
+		if h := t.m.opts.Hooks; h != nil && h.Commute != nil {
+			h.Commute(base, span, esz, op)
+		}
+		return value{}
 	case ast.BPrintInt:
 		t.m.printf("%d", arg(0).I)
 		return value{}

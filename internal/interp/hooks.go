@@ -58,6 +58,7 @@ func ChainHooks(a, b *Hooks) *Hooks {
 	c := &Hooks{
 		RegionOnly:    a.regionOnly() && b.regionOnly(),
 		PrivateStacks: a.privateStacks() && b.privateStacks(),
+		Guarded:       a.Guarded || b.Guarded,
 	}
 	if a.Load != nil || b.Load != nil {
 		af, bf := a.Load, b.Load
@@ -216,6 +217,17 @@ func ChainHooks(a, b *Hooks) *Hooks {
 			}
 			if bf != nil {
 				bf(base, span, esz)
+			}
+		}
+	}
+	if a.Commute != nil || b.Commute != nil {
+		af, bf := a.Commute, b.Commute
+		c.Commute = func(base, span, esz, op int64) {
+			if af != nil {
+				af(base, span, esz, op)
+			}
+			if bf != nil {
+				bf(base, span, esz, op)
 			}
 		}
 	}

@@ -95,6 +95,19 @@ type Hooks struct {
 	// the per-copy size in bytes, esz the element size for interleaved
 	// layout (0 = bonded layout).
 	Expand func(base, span, esz int64)
+	// Commute observes the __comm_note markers the expansion pass emits
+	// for commutative-update objects: the span-byte object at base holds
+	// esz-byte integer elements whose cross-iteration updates commute
+	// under op (see ddg.CommOp). A privatization runtime arms per-thread
+	// copies for the next parallel region and merges them at region
+	// exit.
+	Commute func(base, span, esz, op int64)
+	// Guarded marks a chain that contains the guarded-execution access
+	// monitor. The scheduler consults it: dynamic self-scheduling has no
+	// placement guarantee, which makes must-detect verdicts
+	// placement-dependent, so guarded regions run such loops under work
+	// stealing instead (with a structured warning in Result.Warnings).
+	Guarded bool
 }
 
 // Access describes one observed memory access for Hooks.Observe.
@@ -189,6 +202,10 @@ type Options struct {
 	// and the recovery controller. Nil disables observability at zero
 	// cost (every producer is behind a nil check).
 	Obs *obs.Observer
+	// FaultPlan injects deterministic failures into the speculation
+	// ladder (spurious suspicions, forced rollbacks) for chaos testing.
+	// Nil disables injection.
+	FaultPlan *FaultPlan
 }
 
 func (o *Options) fill() {
@@ -221,6 +238,10 @@ type Result struct {
 	// Regions holds per-region recovery health records (sorted by loop
 	// ID) when the machine ran with Options.Recover.
 	Regions []RegionStats
+	// Warnings lists structured runtime adjustments the machine made
+	// (e.g. a guarded region's dynamic schedule overridden to work
+	// stealing), deduplicated, in first-occurrence order.
+	Warnings []string
 }
 
 // Machine executes one MiniC program.
@@ -242,6 +263,13 @@ type Machine struct {
 	ctrMu    sync.Mutex
 
 	traces []*LoopTrace
+
+	warnMu   sync.Mutex
+	warnings []string
+
+	// faults tracks the consumption counters of Options.FaultPlan; nil
+	// without a plan.
+	faults *faultState
 
 	inParallel bool
 
@@ -287,6 +315,9 @@ func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 	}
 	if opts.Recover != nil {
 		m.recovery = newRecoveryState(*opts.Recover, opts.Obs)
+	}
+	if opts.FaultPlan != nil {
+		m.faults = &faultState{plan: *opts.FaultPlan}
 	}
 	if m.opts.Hooks.HasAccessHooks() {
 		m.accessHooks = m.opts.Hooks
@@ -381,8 +412,25 @@ func (m *Machine) Run() (res Result, err error) {
 	if m.recovery != nil {
 		res.Regions = m.recovery.snapshot()
 	}
+	m.warnMu.Lock()
+	res.Warnings = append([]string(nil), m.warnings...)
+	m.warnMu.Unlock()
 	m.publishObs(res)
 	return res, nil
+}
+
+// warnf records a structured runtime warning, deduplicated by its
+// formatted text, for Result.Warnings.
+func (m *Machine) warnf(format string, args ...any) {
+	w := fmt.Sprintf(format, args...)
+	m.warnMu.Lock()
+	defer m.warnMu.Unlock()
+	for _, e := range m.warnings {
+		if e == w {
+			return
+		}
+	}
+	m.warnings = append(m.warnings, w)
 }
 
 // publishObs records the run's final whole-run aggregates in the

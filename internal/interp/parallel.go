@@ -159,9 +159,15 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body, seq bodyFn) ct
 			}
 			switch v := r.(type) {
 			case Abort:
-				// The guard monitor detected a dependence violation at
-				// the safe point.
-				fail = &regionFault{kind: FailViolation, err: v.Err}
+				// The guard monitor aborted at the safe point: a
+				// confirmed dependence violation, or — under sampled
+				// guarding — a suspicion that may be a sampling artifact
+				// and therefore charges no demotion strike.
+				kind := FailViolation
+				if suspicious(v.Err) {
+					kind = FailSuspicion
+				}
+				fail = &regionFault{kind: kind, err: v.Err}
 			case regionFault:
 				fail = &v
 			default:
@@ -177,6 +183,19 @@ func (t *thread) runParallelFor(f *frame, x *ast.For, init, body, seq bodyFn) ct
 		}()
 		t.parallelAttempt(f, x, init, body)
 	}()
+	if fail == nil {
+		// Chaos injection (Options.FaultPlan): an otherwise-committing
+		// region may be hit with a spurious suspicion or a forced
+		// rollback, exercising the ladder's recovery paths on demand.
+		switch {
+		case t.m.faults.injectSuspect():
+			fail = &regionFault{kind: FailSuspicion,
+				err: &SuspicionError{Loop: x.ID, Detail: "injected by fault plan"}}
+		case t.m.faults.injectRollback():
+			fail = &regionFault{kind: FailFault,
+				err: fmt.Errorf("fault plan: injected rollback")}
+		}
+	}
 	if fail == nil {
 		pages, bytes := t.m.mem.Commit(snap.ms)
 		rc.noteSuccess(x.ID, pages, bytes)
@@ -240,6 +259,22 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 		chunk = 1
 	}
 	policy := t.m.opts.Sched
+	if policy == SchedDynamic && t.m.opts.Hooks != nil && t.m.opts.Hooks.Guarded {
+		// Dynamic self-scheduling has no placement guarantee: a
+		// slow-starting worker can let a sibling run every iteration,
+		// leaving a real cross-iteration dependence on one thread where
+		// the monitor honestly cannot see it. Guarded regions therefore
+		// run under work stealing (which pins each deque's first grain
+		// to its owner, so conflicting iterations are spread across
+		// threads) and the substitution is reported as a structured
+		// warning rather than silently weakening detection.
+		policy = SchedStealing
+		t.m.warnf("loop %d: dynamic schedule overridden to work stealing for guarded execution", x.ID)
+		if o := t.m.opts.Obs; o != nil {
+			o.Emit(obs.Event{Name: "sched-override", Ph: 'i', Loop: x.ID, Iter: -1,
+				Label: "dynamic->stealing"})
+		}
+	}
 	var st *stealState
 	if x.Par == ast.DOALL && policy == SchedStealing {
 		st = newStealState(n, nt)

@@ -1,0 +1,224 @@
+package rtpriv
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gdsx/internal/ddg"
+	"gdsx/internal/interp"
+)
+
+// CommStats reports what the commutative privatizer did during a run.
+type CommStats struct {
+	Regions    int64 // parallel regions entered with at least one armed span
+	Spans      int64 // accumulator spans privatized across all regions
+	Redirected int64 // accesses redirected into private copies
+	Merged     int64 // elements merged back into shared space
+}
+
+// commSpan is one armed accumulator: span bytes at base, merged in
+// esz-byte elements under op.
+type commSpan struct {
+	base, span, esz int64
+	op              ddg.CommOp
+}
+
+// commActive is a privatized span during one region: per-tid
+// identity-initialized copies.
+type commActive struct {
+	commSpan
+	copies []int64 // per-tid private copy base
+}
+
+// CommutativeRuntime privatizes reduction-shaped accumulators at run
+// time. The expansion pass plants __comm_note(base, span, esz, op)
+// markers before loops whose classifier-proven commutative classes it
+// left unexpanded (see expand.Options.Commutative); the marker arms
+// this runtime, which at the next region entry gives every thread an
+// identity-initialized private copy of the accumulator, redirects the
+// region's accesses to [base, base+span) into the accessing thread's
+// copy, and merges the copies back under the operator at region exit.
+//
+// Correctness rests on the classifier's proof obligation: every access
+// to the span inside the region is the same commutative update, so the
+// merge order across threads cannot change the final value (integer
+// operators only — the classifier never marks floating-point classes).
+// The merge writes go through the snapshot-tracked store path, so a
+// later rollback of the region reverts them like any other store.
+type CommutativeRuntime struct {
+	// Cost is the simulated op charge per redirected access (the range
+	// check and base swap — far cheaper than rtpriv's general block
+	// lookup). DefaultCommCost when zero.
+	Cost int64
+
+	m *interp.Machine
+
+	mu     sync.Mutex
+	armed  []commSpan
+	active []commActive
+
+	redirected atomic.Int64 // updated lock-free on worker threads
+	stats      CommStats
+}
+
+// DefaultCommCost is the per-access charge of the commutative
+// redirect: a bounds compare and an add.
+const DefaultCommCost = 2
+
+// NewCommutative creates a commutative privatizer. Bind the machine
+// before running.
+func NewCommutative() *CommutativeRuntime {
+	return &CommutativeRuntime{Cost: DefaultCommCost}
+}
+
+// Bind attaches the machine whose memory the runtime manages.
+func (r *CommutativeRuntime) Bind(m *interp.Machine) { r.m = m }
+
+// Stats returns privatizer statistics after a run.
+func (r *CommutativeRuntime) Stats() CommStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Redirected = r.redirected.Load()
+	return s
+}
+
+// Hooks returns the interpreter hooks implementing the privatizer.
+func (r *CommutativeRuntime) Hooks() *interp.Hooks {
+	return &interp.Hooks{
+		Commute:        r.commute,
+		Redirect:       r.redirect,
+		ParallelStart:  r.start,
+		ParallelEnd:    r.end,
+		ParallelCancel: r.cancel,
+	}
+}
+
+// commute arms (or re-arms) a span for the next parallel region.
+func (r *CommutativeRuntime) commute(base, span, esz, op int64) {
+	if span <= 0 || esz <= 0 || span%esz != 0 {
+		return
+	}
+	o := ddg.CommOp(op)
+	if o != ddg.CommAdd && o != ddg.CommMin && o != ddg.CommMax {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.armed {
+		if r.armed[i].base == base {
+			r.armed[i] = commSpan{base: base, span: span, esz: esz, op: o}
+			return
+		}
+	}
+	r.armed = append(r.armed, commSpan{base: base, span: span, esz: esz, op: o})
+}
+
+func (r *CommutativeRuntime) start(loopID, nthreads int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// A violation abort can unwind past end/cancel; any leftovers were
+	// reclaimed by the region rollback, so just drop the stale state.
+	r.active = nil
+	if len(r.armed) == 0 {
+		return
+	}
+	mem := r.m.Mem()
+	for _, s := range r.armed {
+		a := commActive{commSpan: s, copies: make([]int64, nthreads)}
+		ok := true
+		for t := 0; t < nthreads; t++ {
+			nb, err := mem.Alloc(s.span, 0, "rtcomm")
+			if err != nil {
+				ok = false
+				break
+			}
+			id := uint64(s.op.Identity(s.esz))
+			for off := int64(0); off < s.span; off += s.esz {
+				mem.Store(nb+off, int(s.esz), id)
+			}
+			a.copies[t] = nb
+		}
+		if !ok {
+			// Out of memory for copies: run this span shared. The
+			// carried flow then races and guarded execution catches it,
+			// exactly as if the note had never been planted.
+			for _, cb := range a.copies {
+				if cb != 0 {
+					_ = mem.Free(cb)
+				}
+			}
+			continue
+		}
+		r.active = append(r.active, a)
+		r.stats.Spans++
+	}
+	if len(r.active) > 0 {
+		r.stats.Regions++
+	}
+	r.armed = r.armed[:0]
+}
+
+// redirect sends an access inside an active span to the accessing
+// thread's private copy. Runs on the worker thread; the active slice
+// is immutable during the region, so no lock is taken.
+func (r *CommutativeRuntime) redirect(site int, addr, size int64, tid int) (int64, int64) {
+	for i := range r.active {
+		a := &r.active[i]
+		if addr >= a.base && addr < a.base+a.span && tid < len(a.copies) {
+			r.redirected.Add(1)
+			cost := r.Cost
+			if cost == 0 {
+				cost = DefaultCommCost
+			}
+			return a.copies[tid] + (addr - a.base), cost
+		}
+	}
+	return addr, 0
+}
+
+func (r *CommutativeRuntime) end(loopID int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mem := r.m.Mem()
+	for _, a := range r.active {
+		for off := int64(0); off < a.span; off += a.esz {
+			v := sext(mem.Load(a.base+off, int(a.esz)), a.esz)
+			for _, cb := range a.copies {
+				v = a.op.Merge(v, sext(mem.Load(cb+off, int(a.esz)), a.esz))
+			}
+			mem.Store(a.base+off, int(a.esz), uint64(v))
+			r.stats.Merged++
+		}
+		for _, cb := range a.copies {
+			_ = mem.Free(cb)
+		}
+	}
+	r.active = nil
+}
+
+// cancel discards the private copies of an abandoned region without
+// merging.
+func (r *CommutativeRuntime) cancel(loopID int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mem := r.m.Mem()
+	for _, a := range r.active {
+		for _, cb := range a.copies {
+			_ = mem.Free(cb)
+		}
+	}
+	r.active = nil
+}
+
+// sext sign-extends a little-endian value of esz bytes.
+func sext(v uint64, esz int64) int64 {
+	shift := 64 - esz*8
+	return int64(v<<shift) >> shift
+}
+
+// Redirected reports whether any access was privatized (used by tests
+// and the bench driver to assert the machinery engaged).
+func (r *CommutativeRuntime) Redirected() bool {
+	return r.redirected.Load() > 0
+}

@@ -3,6 +3,7 @@ package sema
 import (
 	"gdsx/internal/ast"
 	"gdsx/internal/ctypes"
+	"gdsx/internal/ddg"
 	"gdsx/internal/token"
 )
 
@@ -174,6 +175,7 @@ func (c *checker) expr(e ast.Expr, ctx valueCtx) ast.Expr {
 			}
 		}
 		x.SetType(lt)
+		c.markCommAssign(x)
 		if ctx != rvalue {
 			c.errf(x.Pos(), "assignment is not assignable")
 		}
@@ -186,6 +188,9 @@ func (c *checker) expr(e ast.Expr, ctx valueCtx) ast.Expr {
 			c.errf(x.Pos(), "invalid %s operand type %s", x.Op, t)
 		}
 		x.SetType(t)
+		if t != nil && t.IsInteger() {
+			c.markComm(x.X, ddg.CommAdd)
+		}
 		return x
 
 	case *ast.Index:

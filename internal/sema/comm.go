@@ -1,0 +1,165 @@
+package sema
+
+// Commutative-update detection: the checker tags the access sites of
+// reduction-shaped updates so the classifier (ddg.Options.CommSites)
+// can promote whole access classes to privatizable reductions.
+//
+// Two shapes are recognized:
+//
+//	loc += e;   loc -= e;   loc++;   loc--;        (CommAdd)
+//	if (e < loc) loc = e;                          (CommMin)
+//	if (e > loc) loc = e;                          (CommMax)
+//
+// (and the mirrored comparisons). Only integer locations qualify:
+// floating-point accumulation is not associative in finite precision,
+// so privatizing it would change the bit-exact sequential result. The
+// tag is per-site evidence only — whether a whole class is safely
+// privatizable (same operator everywhere, no carried dependence
+// crossing the class boundary) is the classifier's decision.
+
+import (
+	"gdsx/internal/ast"
+	"gdsx/internal/ddg"
+	"gdsx/internal/token"
+)
+
+// markComm tags the load/store sites of a location expression as a
+// commutative update under op.
+func (c *checker) markComm(e ast.Expr, op ddg.CommOp) {
+	var acc *ast.Access
+	switch n := e.(type) {
+	case *ast.Ident:
+		acc = &n.Acc
+	case *ast.Index:
+		acc = &n.Acc
+	case *ast.Member:
+		acc = &n.Acc
+	case *ast.Unary:
+		acc = &n.Acc
+	default:
+		return
+	}
+	if s := c.info.Accesses[acc.Load]; s != nil {
+		s.Comm = op
+	}
+	if s := c.info.Accesses[acc.Store]; s != nil {
+		s.Comm = op
+	}
+}
+
+// markCommAssign tags an integer += / -= after the assignment has been
+// checked (so the LHS sites exist).
+func (c *checker) markCommAssign(x *ast.Assign) {
+	if x.Op != token.ADDASSIGN && x.Op != token.SUBASSIGN {
+		return
+	}
+	if lt := x.LHS.ExprType(); lt == nil || !lt.IsInteger() {
+		return
+	}
+	c.markComm(x.LHS, ddg.CommAdd)
+}
+
+// markCommMinMax recognizes the guarded min/max update
+//
+//	if (e REL loc) loc = e;
+//
+// where REL is one of < <= > >=, the then-branch is the single plain
+// assignment shown, and e/loc match the comparison operands
+// structurally (by printed form). The location's read in the condition
+// and its write in the branch are tagged CommMin (the smaller value is
+// kept) or CommMax.
+func (c *checker) markCommMinMax(x *ast.If) {
+	if x.Else != nil {
+		return
+	}
+	cond, ok := x.Cond.(*ast.Binary)
+	if !ok {
+		return
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	asg := singleAssign(x.Then)
+	if asg == nil || asg.Op != token.ASSIGN {
+		return
+	}
+	lt := asg.LHS.ExprType()
+	if lt == nil || !lt.IsInteger() {
+		return
+	}
+	locText := ast.PrintExpr(asg.LHS)
+	valText := ast.PrintExpr(asg.RHS)
+	xText, yText := ast.PrintExpr(cond.X), ast.PrintExpr(cond.Y)
+
+	// Normalize to "value REL location".
+	op := cond.Op
+	switch {
+	case xText == valText && yText == locText:
+		// value REL loc: as is.
+	case xText == locText && yText == valText:
+		// loc REL value: mirror.
+		switch op {
+		case token.LSS:
+			op = token.GTR
+		case token.LEQ:
+			op = token.GEQ
+		case token.GTR:
+			op = token.LSS
+		case token.GEQ:
+			op = token.LEQ
+		}
+	default:
+		return
+	}
+	comm := ddg.CommMax
+	if op == token.LSS || op == token.LEQ {
+		// The store keeps the smaller value: a running minimum.
+		comm = ddg.CommMin
+	}
+	c.markComm(asg.LHS, comm)
+	// Tag the location's loads in the condition too (same printed
+	// form), so the whole class carries the operator.
+	tagLoads := func(e ast.Expr) {
+		if ast.PrintExpr(e) == locText {
+			c.markComm(e, comm)
+		}
+	}
+	tagLoads(cond.X)
+	tagLoads(cond.Y)
+}
+
+// singleAssign unwraps a then-branch that consists of exactly one
+// expression-statement assignment (with or without braces).
+func singleAssign(s ast.Stmt) *ast.Assign {
+	if b, ok := s.(*ast.Block); ok {
+		if len(b.Stmts) != 1 {
+			return nil
+		}
+		s = b.Stmts[0]
+	}
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	asg, ok := es.X.(*ast.Assign)
+	if !ok {
+		return nil
+	}
+	return asg
+}
+
+// CommSites extracts the commutative-site map for the classifier.
+func CommSites(info *Info) map[int]ddg.CommOp {
+	out := map[int]ddg.CommOp{}
+	for id, s := range info.Accesses {
+		if s.Comm != ddg.CommNone {
+			out[id] = s.Comm
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

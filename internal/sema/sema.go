@@ -11,6 +11,7 @@ import (
 
 	"gdsx/internal/ast"
 	"gdsx/internal/ctypes"
+	"gdsx/internal/ddg"
 	"gdsx/internal/token"
 )
 
@@ -32,6 +33,12 @@ type AccessSite struct {
 	// allocations) that exist only so the profiler sees fresh storage
 	// as written; they are never redirected.
 	IsDef bool
+	// Comm marks the site as a commutative update: the load/store pair
+	// of an integer += / -= / ++ / -- (CommAdd) or of a guarded
+	// min/max update pattern (CommMin/CommMax). The classifier promotes
+	// classes made entirely of same-operator commutative sites to
+	// privatizable reductions (see ddg.Options.CommSites).
+	Comm ddg.CommOp
 }
 
 // LoopInfo describes one loop in the program.
@@ -127,6 +134,8 @@ func (c *checker) declareBuiltins() {
 	// Guarded-expansion markers (see ast.BExpandMalloc/BExpandNote).
 	decl("__expand_malloc", ast.BExpandMalloc, voidPtr, l, l)
 	decl("__expand_note", ast.BExpandNote, v, voidPtr, l, l)
+	// Commutative-update marker (see ast.BCommNote).
+	decl("__comm_note", ast.BCommNote, v, voidPtr, l, l, l)
 
 	c.info.TID = &ast.Symbol{Name: "__tid", Kind: ast.SymTID, Type: ctypes.IntType}
 	c.info.NTH = &ast.Symbol{Name: "__nthreads", Kind: ast.SymNTH, Type: ctypes.IntType}
@@ -318,6 +327,7 @@ func (c *checker) stmt(s ast.Stmt) {
 		if x.Else != nil {
 			c.stmt(x.Else)
 		}
+		c.markCommMinMax(x)
 	case *ast.For:
 		c.forStmt(x)
 	case *ast.While:

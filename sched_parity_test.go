@@ -9,9 +9,12 @@ package gdsx
 // deliberately status-only: a violation report's rule labels and
 // iteration attribution depend on the iteration-to-thread mapping the
 // scheduler chose (the copy mapping follows the schedule), so reports
-// are schedule-dependent even though detection is not — and dynamic
-// self-scheduling is additionally exempt from the must-detect
-// assertion, because its placement is timing-dependent (see
+// are schedule-dependent even though detection is not. Dynamic
+// self-scheduling has no placement guarantee of its own — a
+// slow-starting worker can hand every iteration to its sibling and
+// honestly hide a cross-thread dependence — so guarded regions
+// override it to work stealing (with a Result.Warnings entry), and
+// the must-detect assertion holds for all three policies (see
 // TestSchedulerGuardVerdictParity).
 
 import (
@@ -127,6 +130,21 @@ func TestSchedulerGuardVerdictParity(t *testing.T) {
 					if res.Result.Output != want.Output {
 						t.Fatalf("%s threads=%d: guarded output diverges", ps.name, nt)
 					}
+					// Guarded regions refuse dynamic self-scheduling (no
+					// placement guarantee) and run under work stealing
+					// instead; the adjustment must be reported, not silent.
+					if ps.pol == SchedDynamic && nt >= 2 {
+						found := false
+						for _, w := range res.Result.Warnings {
+							if strings.Contains(w, "dynamic schedule overridden") {
+								found = true
+							}
+						}
+						if !found {
+							t.Errorf("threads=%d: dynamic guarded run carries no override warning: %v",
+								nt, res.Result.Warnings)
+						}
+					}
 				}
 			}
 		})
@@ -164,14 +182,14 @@ func TestSchedulerGuardVerdictParity(t *testing.T) {
 					// to its owner, so under both the conflicting
 					// iterations are guaranteed to land on different
 					// threads and the monitor must fire. Dynamic
-					// self-scheduling has no placement guarantee: a
-					// slow-starting worker (easy to provoke under -race)
-					// lets its sibling grab every iteration, and a
-					// single-thread placement genuinely has no
-					// cross-thread dependence — a clean verdict there is
-					// honest, so dynamic is only held to output parity.
-					if ps.pol != SchedDynamic &&
-						nt >= 2 && (!res.FellBack || res.Violation == nil) {
+					// self-scheduling has no such guarantee, so guarded
+					// regions override it to work stealing — the verdict
+					// must match, and the run must say it adjusted.
+					// (On fallback res.Result is the sequential
+					// re-execution, which carries no warnings; the
+					// override-warning assertion lives in the clean loop
+					// above, where the guarded run's result survives.)
+					if nt >= 2 && (!res.FellBack || res.Violation == nil) {
 						t.Fatalf("%s threads=%d: scheduler hid the dependence violation",
 							ps.name, nt)
 					}

@@ -7,6 +7,7 @@ import (
 	"gdsx/internal/ddg"
 	"gdsx/internal/expand"
 	"gdsx/internal/profile"
+	"gdsx/internal/sema"
 )
 
 // TransformOptions configure the expansion pipeline.
@@ -85,6 +86,9 @@ func Transform(p *Program, opts TransformOptions) (*TransformResult, error) {
 	copts := ddg.DefaultOptions()
 	if opts.Classify != nil {
 		copts = *opts.Classify
+	}
+	if eopts.Commutative && copts.CommSites == nil {
+		copts.CommSites = sema.CommSites(work.Info)
 	}
 
 	res := &TransformResult{
