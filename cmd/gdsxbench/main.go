@@ -14,6 +14,7 @@
 //	gdsxbench -obs [-quick] [-scale ...] [-o BENCH_obs.json]
 //	gdsxbench -sched [-scale ...] [-o BENCH_sched.json]
 //	gdsxbench -adapt [-quick] [-scale ...] [-o BENCH_adapt.json]
+//	gdsxbench -serve-load [-quick] [-o BENCH_serve.json]
 //
 // The -bench-engines mode instead measures host wall-clock time of
 // each workload under the tree-walking and closure-compiling engines
@@ -45,7 +46,14 @@
 // commutative-privatization speedup over sequential execution;
 // -adapt -quick is the CI smoke variant, which skips the wall-clock
 // acceptance checks and exits nonzero when the check cut regresses
-// more than 5% against the checked-in BENCH_adapt.json.
+// more than 5% against the checked-in BENCH_adapt.json. The
+// -serve-load mode drives the gdsxd service layer (internal/serve)
+// with closed-loop concurrent HTTP clients across steady, mixed,
+// burst and chaos scenarios and records p50/p99 latency, throughput,
+// shed rate and cache hit rate; -serve-load -quick is the CI smoke
+// variant, which runs the steady and burst scenarios at half volume
+// and exits nonzero when the geomean p99 regresses more than 10%
+// against the matching rows of the checked-in BENCH_serve.json.
 //
 // With -http ADDR, any mode also serves expvar (including the live
 // gdsx metrics registry under the "gdsx" variable) and net/http/pprof
@@ -59,6 +67,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -67,6 +76,7 @@ import (
 
 	"gdsx"
 	"gdsx/internal/bench"
+	"gdsx/internal/serve"
 	"gdsx/internal/workloads"
 )
 
@@ -90,6 +100,10 @@ func main() {
 	benchAdapt := flag.Bool("adapt", false,
 		"measure the adaptive speculation ladder (guard-sampling check cut,"+
 			" runtime re-expansion, commutative privatization) and write JSON")
+	serveLoad := flag.Bool("serve-load", false,
+		"drive the gdsxd service layer with closed-loop concurrent clients"+
+			" (steady/mixed/burst/chaos) and write latency, shed-rate and"+
+			" cache-hit-rate JSON")
 	quick := flag.Bool("quick", false,
 		"with -obs: CI smoke variant — few workloads, no hot-profiler config,"+
 			" nonzero exit when geomean overhead exceeds 15%."+
@@ -98,7 +112,9 @@ func main() {
 			" With -guard: measure the smoke subset and gate against"+
 			" the checked-in BENCH_guard.json."+
 			" With -adapt: skip the wall-clock acceptance checks and gate"+
-			" the sampling check cut against the checked-in BENCH_adapt.json")
+			" the sampling check cut against the checked-in BENCH_adapt.json."+
+			" With -serve-load: run the steady and burst scenarios at half"+
+			" volume and gate p99 against the checked-in BENCH_serve.json")
 	httpAddr := flag.String("http", "",
 		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
 			" during the run, e.g. :8080")
@@ -130,18 +146,48 @@ func main() {
 		o := &gdsx.Observer{Metrics: gdsx.NewRegistry()}
 		cfg.Obs = o
 		expvar.Publish("gdsx", expvar.Func(func() any { return o.Metrics.Snapshot() }))
+		// The hardened server (header/read/write/idle timeouts) shared
+		// with gdsxd, drained gracefully when the run finishes instead of
+		// dying mid-response with the process.
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench: http:", err)
+			os.Exit(1)
+		}
+		stop := make(chan struct{})
+		done := make(chan error, 1)
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			done <- serve.ServeGraceful(serve.NewHTTPServer(*httpAddr, http.DefaultServeMux),
+				ln, stop, 5*time.Second, nil)
+		}()
+		defer func() {
+			close(stop)
+			if err := <-done; err != nil {
 				fmt.Fprintln(os.Stderr, "gdsxbench: http:", err)
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "gdsxbench: serving expvar and pprof on %s"+
-			" (/debug/vars, /debug/pprof)\n", *httpAddr)
+			" (/debug/vars, /debug/pprof)\n", ln.Addr())
 	}
 	fmt.Fprintf(os.Stderr, "gdsxbench: engine=%s scale=%s %s %s/%s\n",
 		engine, *scale, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 	h := bench.New(cfg)
 	start := time.Now()
+
+	if *serveLoad {
+		rep, err := bench.ServeLoad(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *quick {
+			gateServeRegression(rep, *outFile)
+			return
+		}
+		writeJSON(rep, *outFile, "BENCH_serve.json", "serve-load measurement", start)
+		return
+	}
 
 	if *benchObs {
 		rep, err := h.ObsOverhead(*quick)
@@ -442,6 +488,48 @@ func gateOptRegression(rep *bench.OptReport, baseFile string) {
 	if rep.Geomean < want*0.95 {
 		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: optimized-engine speedup regressed more"+
 			" than 5%% against %s\n", baseFile)
+		os.Exit(1)
+	}
+}
+
+// gateServeRegression compares a quick -serve-load measurement against
+// the matching scenarios of the checked-in BENCH_serve.json (or the -o
+// override) and exits nonzero when the geomean p99 latency grew more
+// than 10%. Service latency on shared CI machines is the noisiest
+// number this suite gates, hence the wider allowance; what it catches
+// is a structural regression — a lost cache hit path, admission doing
+// work before shedding, the drain barrier serializing requests — whose
+// signature is p99 multiplying, not drifting.
+func gateServeRegression(rep *bench.ServeLoadReport, baseFile string) {
+	if baseFile == "" {
+		baseFile = "BENCH_serve.json"
+	}
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdsxbench:", err)
+		os.Exit(1)
+	}
+	var base bench.ServeLoadReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gdsxbench: %s: %v\n", baseFile, err)
+		os.Exit(1)
+	}
+	var names []string
+	for _, row := range rep.Rows {
+		names = append(names, row.Scenario)
+	}
+	want, ok := base.GeomeanOver(names)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: %s lacks rows for the smoke subset %v\n",
+			baseFile, names)
+		os.Exit(1)
+	}
+	got, _ := rep.GeomeanOver(names)
+	fmt.Fprintf(os.Stderr, "gdsxbench: quick geomean p99 %.1fms vs checked-in %.1fms (same subset)\n",
+		got, want)
+	if got > want*1.10 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: serve p99 latency regressed more"+
+			" than 10%% against %s\n", baseFile)
 		os.Exit(1)
 	}
 }

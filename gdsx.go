@@ -13,6 +13,7 @@
 package gdsx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"gdsx/internal/ast"
 	"gdsx/internal/ddg"
 	"gdsx/internal/interp"
+	"gdsx/internal/mem"
 	"gdsx/internal/obs"
 	"gdsx/internal/parser"
 	"gdsx/internal/profile"
@@ -143,7 +145,36 @@ type RunOptions struct {
 	// disables observability at zero cost. See NewObserver for the
 	// common configuration.
 	Obs *Observer
+	// Ctx cancels the run cooperatively: when the context is cancelled
+	// (deadline or explicit), the interpreter stops at its next safe
+	// point — a statement boundary, a loop back-edge, an ordered-section
+	// spin, or a scheduler idle loop — unwinds every parallel worker,
+	// and returns *interp.CancelledError wrapping the context cause.
+	// Nil (or a context that can never be cancelled) costs nothing.
+	Ctx context.Context
+	// Memory injects a caller-owned simulated memory (see NewMemory),
+	// letting a service reuse pooled arenas across runs instead of
+	// allocating MemSize fresh each time. The caller must Reset the
+	// memory between runs; MemSize is ignored when Memory is set.
+	Memory *mem.Memory
 }
+
+// Memory re-exports the simulated memory for pooled reuse across runs.
+type Memory = mem.Memory
+
+// NewMemory allocates a simulated memory of the given capacity in
+// bytes (0 selects the default 64 MiB), for use with RunOptions.Memory.
+func NewMemory(size int64) *Memory {
+	if size <= 0 {
+		size = 64 << 20
+	}
+	return mem.New(size)
+}
+
+// CancelledError re-exports the interpreter's cancellation error; a
+// run whose RunOptions.Ctx was cancelled returns one wrapping the
+// context cause (errors.Is(err, context.Canceled) works through it).
+type CancelledError = interp.CancelledError
 
 // Observer re-exports the observability bundle; see package obs for
 // the component types.
@@ -260,6 +291,8 @@ func (o RunOptions) interpOptions() interp.Options {
 		RegionTimeout:   o.RegionTimeout,
 		FaultPlan:       o.FaultPlan,
 		Obs:             o.Obs,
+		Ctx:             o.Ctx,
+		Memory:          o.Memory,
 	}
 }
 

@@ -121,13 +121,24 @@ func GuardedRun(native *Program, tr *TransformResult, opts RunOptions) (*Guarded
 	if native == nil || tr == nil {
 		return nil, fmt.Errorf("gdsx: guarded execution needs the native program and its transform result")
 	}
-	threads := opts.Threads
-	if threads <= 0 {
-		threads = 1
-	}
 	exp, err := Compile(native.File+" (expanded)", tr.Source)
 	if err != nil {
 		return nil, fmt.Errorf("gdsx: compiling transformed program: %w", err)
+	}
+	return GuardedRunPrecompiled(native, tr, exp, opts)
+}
+
+// GuardedRunPrecompiled is GuardedRun with the expanded program's
+// compilation hoisted out: exp must be a compilation of tr.Source.
+// Callers that run the same transform repeatedly (the gdsxd service's
+// transform cache) compile once and amortize parse+sema across runs.
+func GuardedRunPrecompiled(native *Program, tr *TransformResult, exp *Program, opts RunOptions) (*GuardedResult, error) {
+	if native == nil || tr == nil || exp == nil {
+		return nil, fmt.Errorf("gdsx: guarded execution needs the native program, its transform result and the compiled expansion")
+	}
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = 1
 	}
 	var tiers *guard.TierController
 	if opts.Sample != nil {

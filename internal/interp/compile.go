@@ -79,6 +79,9 @@ type compiler struct {
 	prog  *compiledProg
 	curFn *ast.FuncDecl
 	maxOp int64
+	// cancellable compiles the cooperative-cancellation poll into every
+	// statement tick; set when the machine runs under Options.Ctx.
+	cancellable bool
 	// opt holds the resolved optimization-pipeline switches (opt.go).
 	opt optConfig
 	// promoted flags, by Symbol.Index, which of curFn's slots live in
@@ -98,6 +101,7 @@ func compileProgram(m *Machine) *compiledProg {
 		maxOp: m.opts.MaxOps,
 		opt:   newOptConfig(m),
 	}
+	c.cancellable = m.opts.Ctx != nil && m.opts.Ctx.Done() != nil
 	fns := m.prog.Funcs()
 	for _, fn := range fns {
 		c.prog.funcs[fn] = &compiledFunc{fn: fn}

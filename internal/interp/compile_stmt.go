@@ -8,8 +8,24 @@ import (
 
 // tickStmt wraps a compiled statement body with the per-statement work
 // tick and, when the machine has an op budget, the budget check —
-// exactly what exec() does before dispatching.
+// exactly what exec() does before dispatching. A machine running under
+// a cancellable context (Options.Ctx) additionally polls the stop flag
+// at every statement; the check is compiled in only for such machines,
+// so batch runs keep the tick branch-free.
 func (c *compiler) tickStmt(pos token.Pos, body cstmt) cstmt {
+	if c.cancellable {
+		max := c.maxOp
+		return func(t *thread, f *frame) ctrl {
+			t.counters[CatWork]++
+			if max > 0 && t.counters[CatWork] > max {
+				rterrf(pos, "operation budget exceeded (%d ops)", max)
+			}
+			if t.m.stop.Load() {
+				t.raiseCancelled()
+			}
+			return body(t, f)
+		}
+	}
 	if max := c.maxOp; max > 0 {
 		return func(t *thread, f *frame) ctrl {
 			t.counters[CatWork]++

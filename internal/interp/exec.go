@@ -42,6 +42,12 @@ func (t *thread) exec(f *frame, s ast.Stmt) ctrl {
 	if max := t.m.opts.MaxOps; max > 0 && t.counters[CatWork] > max {
 		rterrf(s.Pos(), "operation budget exceeded (%d ops)", max)
 	}
+	// Statement boundaries are cooperative-cancellation safe points
+	// (Options.Ctx): the stop flag stays false for the whole run unless
+	// a context watcher is armed, so this is one predictable branch.
+	if t.m.stop.Load() {
+		t.raiseCancelled()
+	}
 	switch x := s.(type) {
 	case *ast.Block:
 		return t.execBlock(f, x)
@@ -339,9 +345,14 @@ func (t *thread) syncWait(pos token.Pos) {
 	for t.order.ticket.Load() != t.curIter {
 		// A sibling worker may have faulted before posting its ticket;
 		// spinning on it would deadlock. The cancellation panic is
-		// swallowed by the worker's recover in runParallelFor.
+		// swallowed by the worker's recover in runParallelFor. A
+		// machine-level context cancellation interrupts the spin the
+		// same way.
 		if t.cancel != nil && t.cancel.Load() {
 			panic(regionCanceled{})
+		}
+		if t.m.stop.Load() {
+			t.raiseCancelled()
 		}
 		spins++
 		if spinMax > 0 && spins > spinMax {

@@ -8,8 +8,10 @@ package interp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdsx/internal/ast"
@@ -206,6 +208,21 @@ type Options struct {
 	// ladder (spurious suspicions, forced rollbacks) for chaos testing.
 	// Nil disables injection.
 	FaultPlan *FaultPlan
+	// Ctx, when non-nil, cancels the run cooperatively: its Done channel
+	// is watched for the duration of Run, and every statement boundary
+	// in both engines — plus the spin and idle loops of the parallel
+	// schedulers — is a cancellation safe point. A cancelled run winds
+	// down all workers (no goroutine leaks, no partial guard analysis:
+	// the region's hooks see ParallelCancel) and returns *CancelledError
+	// wrapping context.Cause. It composes with RegionTimeout: the
+	// watchdog bounds one region, the context bounds the whole run.
+	Ctx context.Context
+	// Memory, when non-nil, is the simulated memory to execute against
+	// instead of allocating a fresh one — it must be freshly created or
+	// Reset, with capacity Options.MemSize. Long-lived callers (the
+	// gdsxd service) pool memories between runs: resetting a used arena
+	// is proportional to its high-water mark, not its capacity.
+	Memory *mem.Memory
 }
 
 func (o *Options) fill() {
@@ -277,6 +294,15 @@ type Machine struct {
 	// machine runs with Options.Recover.
 	recovery *recoveryState
 
+	// stop is the cooperative-cancellation flag: set (once) by the
+	// context watcher while Options.Ctx is cancellable. Both engines
+	// poll it at statement boundaries, and the scheduler spin loops poll
+	// it alongside the region-cancel flag. cancelCause is written before
+	// the release-store of stop, so any thread that observes stop also
+	// observes the cause.
+	stop        atomic.Bool
+	cancelCause error
+
 	// accessHooks is opts.Hooks when the chain carries a per-access
 	// hook (Redirect/Load/Store/Observe), else nil. The access paths of
 	// both engines branch on this instead of opts.Hooks so that hook
@@ -292,11 +318,15 @@ type Machine struct {
 // New creates a machine for the checked program.
 func New(prog *ast.Program, info *sema.Info, opts Options) *Machine {
 	opts.fill()
+	backing := opts.Memory
+	if backing == nil {
+		backing = mem.New(opts.MemSize)
+	}
 	m := &Machine{
 		prog:    prog,
 		info:    info,
 		opts:    opts,
-		mem:     mem.New(opts.MemSize),
+		mem:     backing,
 		strings: map[string]int64{},
 	}
 	if opts.Obs != nil {
@@ -364,8 +394,63 @@ func rterrf(pos token.Pos, format string, args ...any) {
 // monitor raises it from ParallelEnd): Run recovers it and returns Err.
 type Abort struct{ Err error }
 
+// CancelledError is the structured error a cooperatively-cancelled run
+// returns (Options.Ctx done). The message is deterministic for a given
+// cancellation cause — it never names the statement, iteration or
+// thread the cancellation happened to land on.
+type CancelledError struct {
+	// Cause is context.Cause at cancellation time (context.Canceled,
+	// context.DeadlineExceeded, or a caller-supplied cause).
+	Cause error
+}
+
+func (e *CancelledError) Error() string {
+	if e.Cause != nil {
+		return "interp: run cancelled: " + e.Cause.Error()
+	}
+	return "interp: run cancelled"
+}
+
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// runCancelled is panicked at a safe point on the spawning thread when
+// the machine's context is done; Run recovers it into *CancelledError.
+// Workers inside a parallel region panic regionCanceled instead (their
+// recover swallows it) so cancellation never masquerades as a worker
+// fault with a nondeterministic iteration number.
+type runCancelled struct{}
+
+// raiseCancelled aborts execution at a cancellation safe point.
+func (t *thread) raiseCancelled() {
+	if t.parallel {
+		panic(regionCanceled{})
+	}
+	panic(runCancelled{})
+}
+
+// cancelled reports whether the machine's context was cancelled.
+func (m *Machine) cancelled() bool { return m.stop.Load() }
+
 // Run executes the program's main function and returns its result.
 func (m *Machine) Run() (res Result, err error) {
+	if ctx := m.opts.Ctx; ctx != nil && ctx.Done() != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, &CancelledError{Cause: context.Cause(ctx)}
+		}
+		// The watcher flips the stop flag when the context fires; the
+		// done channel reclaims it when Run returns first, so a pooled
+		// machine leaks no goroutine.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.cancelCause = context.Cause(ctx)
+				m.stop.Store(true)
+			case <-done:
+			}
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(RuntimeError); ok {
@@ -374,6 +459,10 @@ func (m *Machine) Run() (res Result, err error) {
 			}
 			if ab, ok := r.(Abort); ok {
 				err = ab.Err
+				return
+			}
+			if _, ok := r.(runCancelled); ok {
+				err = &CancelledError{Cause: m.cancelCause}
 				return
 			}
 			// A contained region failure that no recovery caught (the

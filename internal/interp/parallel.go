@@ -234,8 +234,9 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 		if h == nil {
 			return
 		}
-		if timedOut.Load() {
-			// The region was abandoned mid-flight: per-thread logs are
+		if timedOut.Load() || t.m.stop.Load() {
+			// The region was abandoned mid-flight (watchdog timeout or
+			// machine-level context cancellation): per-thread logs are
 			// partial, so the monitor must discard them rather than run
 			// its safe-point replay on a truncated schedule.
 			if h.ParallelCancel != nil {
@@ -358,6 +359,14 @@ func (t *thread) parallelAttempt(f *frame, x *ast.For, init, body bodyFn) {
 		w.cancel = nil
 		t.m.mergeCounters(w)
 		w.release()
+	}
+	// Machine-level cancellation takes precedence over any worker fault
+	// that raced with it: cancelled workers exit via regionCanceled (no
+	// fault recorded), so honoring a raced fault here would make the
+	// reported error depend on scheduling. The cancellation propagates
+	// as a run-level panic — region recovery must not retry it.
+	if t.m.stop.Load() {
+		t.raiseCancelled()
 	}
 	if fault := firstFault(faults); fault != nil {
 		if re, ok := fault.val.(RuntimeError); ok {
@@ -496,4 +505,3 @@ func (w *thread) runDynamic(f *frame, x *ast.For, lb loopBounds, pvAddr int64, n
 		}
 	}
 }
-

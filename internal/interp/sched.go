@@ -208,6 +208,9 @@ func (w *thread) runStealing(f *frame, x *ast.For, lb loopBounds, pvAddr int64, 
 			if w.cancel != nil && w.cancel.Load() {
 				return
 			}
+			if w.m.stop.Load() {
+				return // machine-level cancellation: see parallelAttempt
+			}
 			best, bestLo := -1, int64(0)
 			for v := 0; v < nt; v++ {
 				if v == w.tid {

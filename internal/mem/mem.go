@@ -93,6 +93,11 @@ type Memory struct {
 	liveData      atomic.Int64
 	highWaterData atomic.Int64
 
+	// maxAddr is the highest address any allocation has ever reached,
+	// the watermark that bounds Reset's data wipe: a pooled memory is
+	// cleared up to here rather than over its full capacity.
+	maxAddr atomic.Int64
+
 	// shards are the per-thread metadata arenas and slabs the
 	// copy-on-write registry of the address ranges they own (shard.go).
 	shards [numShards]shard
@@ -269,6 +274,7 @@ func (m *Memory) reserve(size int64) bool {
 func (m *Memory) finishAlloc(base, size int64, label string) {
 	live := m.liveBytes.Load()
 	atomicMax(&m.highWater, live)
+	atomicMax(&m.maxAddr, base+size)
 	m.allocs.Add(1)
 	if label != "stack" {
 		atomicMax(&m.highWaterData, m.liveData.Add(size))
@@ -551,6 +557,45 @@ func (m *Memory) Stats() Stats {
 func (m *Memory) ResetHighWater() {
 	m.highWater.Store(m.liveBytes.Load())
 	m.highWaterData.Store(m.liveData.Load())
+}
+
+// Reset returns the memory to its freshly-created state so a pooled
+// arena can be reused across runs: every block is released, the free
+// list covers the whole address space again, shard arenas and the slab
+// registry are emptied, accounting is zeroed, and the limit and
+// fault-injection hooks are disarmed. The data wipe is proportional to
+// the address high-water mark rather than the capacity, so pooling
+// small runs in a large arena stays cheap. Not safe to call while any
+// other operation on the memory is in flight.
+func (m *Memory) Reset() {
+	// Allocation zeroes every block it hands out, but wiping to the
+	// watermark also erases freed-and-never-reused bytes, so a pooled
+	// memory cannot leak one tenant's data into diagnostics of the next.
+	clear(m.data[:m.maxAddr.Load()])
+	m.mu.Lock()
+	m.live = nil
+	m.freeList = []Block{{Base: NullGuard, Size: int64(len(m.data)) - NullGuard}}
+	m.cursor = 0
+	m.mu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.live = nil
+		sh.free = nil
+		sh.slabLo, sh.slabHi = 0, 0
+		sh.mu.Unlock()
+	}
+	m.slabs.Store(nil)
+	m.liveBytes.Store(0)
+	m.liveData.Store(0)
+	m.highWater.Store(0)
+	m.highWaterData.Store(0)
+	m.allocs.Store(0)
+	m.maxAddr.Store(0)
+	m.limit.Store(0)
+	m.failAt.Store(0)
+	m.snap = nil
+	m.obs = nil
 }
 
 // Bytes returns the n bytes at addr as a slice aliasing the memory.

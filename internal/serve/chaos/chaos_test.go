@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gdsx/internal/serve"
+)
+
+const chaosParSrc = `
+int N = 48;
+
+int main() {
+	long *out = (long*)malloc(N * 8);
+	int i;
+	parallel for (i = 0; i < N; i++) {
+		long acc = 0;
+		int j;
+		for (j = 0; j < 400; j++) { acc = acc + (long)i * j; }
+		out[i] = acc;
+	}
+	long s = 0;
+	for (i = 0; i < N; i++) { s = s + out[i]; }
+	print_long(s);
+	print_char('\n');
+	return 0;
+}
+`
+
+const chaosSlowSrc = `
+int N = 48;
+
+int main() {
+	long *out = (long*)malloc(N * 8);
+	int i;
+	parallel for (i = 0; i < N; i++) {
+		long acc = 0;
+		long j;
+		for (j = 0; j < 50000000; j++) { acc = acc + j; }
+		out[i] = acc;
+	}
+	print_long(out[0]);
+	print_char('\n');
+	return 0;
+}
+`
+
+const chaosHogSrc = `
+int N = 48;
+
+int main() {
+	long *out = (long*)malloc(N * 8);
+	int i;
+	parallel for (i = 0; i < N; i++) {
+		long *scratch = (long*)malloc(65536);
+		scratch[0] = (long)i;
+		out[i] = scratch[0];
+	}
+	print_long(out[5]);
+	print_char('\n');
+	return 0;
+}
+`
+
+// knownCodes is the full structured-error vocabulary: every failed
+// chaos request must map onto one of these.
+var knownCodes = map[serve.Code]bool{
+	serve.CodeBadReq: true, serve.CodeCompile: true, serve.CodeTransform: true,
+	serve.CodeRuntime: true, serve.CodeOOM: true, serve.CodeCancelled: true,
+	serve.CodeTimeout: true, serve.CodeRateLimit: true, serve.CodeQueueFull: true,
+	serve.CodeDraining: true, serve.CodePanic: true,
+}
+
+// TestChaosRun drives the full fault menu — injected handler panics,
+// slow-loris bodies, OOM-quota requests, contexts cancelled mid-region,
+// FaultPlan-forced rollbacks inside guarded runs, malformed JSON —
+// through a live server and asserts the robustness contract: the
+// process survives everything, every failure is a structured error
+// from the known vocabulary, and no goroutines leak once traffic
+// drains.
+func TestChaosRun(t *testing.T) {
+	srv := serve.New(serve.Config{
+		MaxConcurrent: 4,
+		QueueDepth:    8,
+		Rate:          serve.RateLimit{RPS: -1},
+	})
+	ts := httptest.NewServer(srv.Handler(Middleware(Config{
+		PanicEvery: 4,
+		DelayEvery: 7,
+		Delay:      20 * time.Millisecond,
+		Seed:       42,
+	})))
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	body := func(src string, opts serve.Options) []byte {
+		b, _ := json.Marshal(serve.Request{Source: src, Options: opts})
+		return b
+	}
+
+	type attack struct {
+		name string
+		do   func(client *http.Client) (*http.Response, error)
+	}
+	attacks := []attack{
+		{"normal", func(c *http.Client) (*http.Response, error) {
+			return c.Post(ts.URL+"/run", "application/json", bytes.NewReader(body(chaosParSrc, serve.Options{})))
+		}},
+		{"guarded fault plan", func(c *http.Client) (*http.Response, error) {
+			return c.Post(ts.URL+"/run", "application/json",
+				bytes.NewReader(body(chaosParSrc, serve.Options{Guard: true, FaultRollbackEvery: 2})))
+		}},
+		{"oom quota", func(c *http.Client) (*http.Response, error) {
+			return c.Post(ts.URL+"/run", "application/json",
+				bytes.NewReader(body(chaosHogSrc, serve.Options{MemLimit: 256 << 10})))
+		}},
+		{"deadline mid-region", func(c *http.Client) (*http.Response, error) {
+			return c.Post(ts.URL+"/run", "application/json",
+				bytes.NewReader(body(chaosSlowSrc, serve.Options{TimeoutMs: 150})))
+		}},
+		{"cancel mid-region", func(c *http.Client) (*http.Response, error) {
+			ctx, cancel := CancelAfter(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/run",
+				bytes.NewReader(body(chaosSlowSrc, serve.Options{TimeoutMs: 10000})))
+			req.Header.Set("Content-Type", "application/json")
+			return c.Do(req)
+		}},
+		{"slow-loris body", func(c *http.Client) (*http.Response, error) {
+			req, _ := http.NewRequest("POST", ts.URL+"/run",
+				SlowBody(body(chaosParSrc, serve.Options{}), 40, 2*time.Millisecond))
+			req.Header.Set("Content-Type", "application/json")
+			return c.Do(req)
+		}},
+		{"malformed JSON", func(c *http.Client) (*http.Response, error) {
+			return c.Post(ts.URL+"/run", "application/json", bytes.NewReader([]byte(`{"source": {{{`)))
+		}},
+	}
+
+	const rounds = 4
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		badBody  []string
+	)
+	for round := 0; round < rounds; round++ {
+		for _, a := range attacks {
+			wg.Add(1)
+			go func(a attack) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 60 * time.Second}
+				resp, err := a.do(client)
+				if err != nil {
+					// Client-side cancellation kills the transport call;
+					// that is the attack working, not a server failure.
+					return
+				}
+				defer resp.Body.Close()
+				raw, _ := io.ReadAll(resp.Body)
+				mu.Lock()
+				defer mu.Unlock()
+				statuses[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					var r serve.Response
+					if json.Unmarshal(raw, &r) != nil || r.Output == "" {
+						badBody = append(badBody, fmt.Sprintf("%s: 200 with body %q", a.name, raw))
+					}
+					return
+				}
+				var e serve.Error
+				if json.Unmarshal(raw, &e) != nil || !knownCodes[e.Code] {
+					badBody = append(badBody, fmt.Sprintf("%s: status %d with unstructured body %q", a.name, resp.StatusCode, raw))
+				}
+			}(a)
+		}
+	}
+	wg.Wait()
+
+	if len(badBody) > 0 {
+		t.Fatalf("unstructured failures:\n%v", badBody)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("no request survived the chaos run: %v", statuses)
+	}
+	if statuses[http.StatusInternalServerError] == 0 {
+		t.Fatalf("panic injection (1 in 4) never surfaced as a structured 500: %v", statuses)
+	}
+
+	// The process must still serve cleanly after the storm.
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		bytes.NewReader(body(chaosParSrc, serve.Options{})))
+	if err != nil {
+		t.Fatalf("post-chaos request: %v", err)
+	}
+	resp.Body.Close()
+
+	st := srv.Snapshot()
+	if st.Panics == 0 {
+		t.Fatal("stats recorded no panics despite injection")
+	}
+
+	// Zero goroutine leaks once traffic drains.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines %d -> %d after chaos run", before, after)
+	}
+}
+
+// TestSlowBodyDribbles pins the slow-loris generator's contract: all
+// bytes arrive, in order, across many reads.
+func TestSlowBodyDribbles(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	r := SlowBody(data, 3, time.Millisecond)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}

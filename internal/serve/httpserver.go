@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the timeouts a
+// long-lived service needs: slow-loris request bodies, dead clients
+// and idle keep-alives all get bounded instead of pinning a goroutine
+// forever. Shared by gdsxd and gdsxbench -http so neither ships a bare
+// ListenAndServe.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    64 << 10,
+	}
+}
+
+// ServeGraceful serves srv on ln until stop fires, then drains: it
+// calls onDrain (which should stop admitting work and wait for
+// in-flight requests — nil to skip) and shuts the listener down
+// gracefully, all under drainTimeout. It returns nil on a clean drain,
+// else the first error.
+func ServeGraceful(srv *http.Server, ln net.Listener, stop <-chan struct{}, drainTimeout time.Duration, onDrain func(context.Context) error) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	var derr error
+	if onDrain != nil {
+		derr = onDrain(ctx)
+	}
+	if err := srv.Shutdown(ctx); err != nil && derr == nil {
+		derr = err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && derr == nil {
+		derr = err
+	}
+	return derr
+}

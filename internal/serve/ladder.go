@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+)
+
+// Shed levels: the degradation ladder trades execution quality for
+// admission capacity, in order of increasing harm, before the server
+// refuses work. Each level includes everything above it.
+const (
+	// ShedNone: full quality — profile-specialized compiled execution,
+	// opportunistic profile harvest on a cache entry's first run.
+	ShedNone = 0
+	// ShedNoSpecialize: drop profile-guided specialization and its
+	// harvest run overhead (the harvest's hot-site profiler forces every
+	// sited access through the hook path — the first thing to go).
+	ShedNoSpecialize = 1
+	// ShedSampleGuards: additionally force guarded runs onto aggressive
+	// guard-sampling tiers (promote after 1 clean region, start at
+	// every-8th-iteration checks), cutting monitor cost to its floor
+	// while checkpoint/rollback keeps correctness.
+	ShedSampleGuards = 2
+	// ShedSequential: additionally demote new requests to single-thread
+	// execution — no worker stacks, no region machinery, minimum memory
+	// and scheduler footprint per request. The last step before 429s.
+	ShedSequential = 3
+
+	shedMax = ShedSequential
+)
+
+// Ladder tracks queue pressure as an exponentially-weighted moving
+// average of admission-queue occupancy and maps it to a shed level
+// with hysteresis: the level steps up when the EWMA crosses a
+// threshold and steps down only when it falls a margin below it, so
+// bursty arrivals don't make quality oscillate.
+type Ladder struct {
+	mu    sync.Mutex
+	ewma  float64
+	level int
+
+	// configuration (fixed at construction)
+	alpha float64
+	up    [shedMax]float64 // up[i]: occupancy to enter level i+1
+	down  float64          // hysteresis margin below up[level-1] to leave
+}
+
+// NewLadder returns a ladder with the production thresholds: levels
+// engage at 25/50/75% sustained occupancy and release 15 points lower.
+func NewLadder() *Ladder {
+	return &Ladder{
+		alpha: 0.2,
+		up:    [shedMax]float64{0.25, 0.50, 0.75},
+		down:  0.15,
+	}
+}
+
+// Observe folds one occupancy sample (queued+running over capacity,
+// taken at each admission) into the EWMA and returns the level the
+// arriving request should run at.
+func (l *Ladder) Observe(occupancy float64) int {
+	if occupancy < 0 {
+		occupancy = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ewma = l.alpha*occupancy + (1-l.alpha)*l.ewma
+	for l.level < shedMax && l.ewma >= l.up[l.level] {
+		l.level++
+	}
+	for l.level > 0 && l.ewma < l.up[l.level-1]-l.down {
+		l.level--
+	}
+	return l.level
+}
+
+// Level returns the current shed level without folding in a sample.
+func (l *Ladder) Level() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.level
+}
+
+// Pressure returns the current occupancy EWMA.
+func (l *Ladder) Pressure() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ewma
+}

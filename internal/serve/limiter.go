@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimit configures the per-tenant token buckets: each tenant
+// accrues RPS tokens per second up to Burst, and each request spends
+// one. RPS <= 0 disables rate limiting.
+type RateLimit struct {
+	RPS   float64
+	Burst float64
+}
+
+func (r *RateLimit) fill() {
+	if r.Burst <= 0 {
+		r.Burst = 2 * r.RPS
+	}
+	if r.Burst < 1 {
+		r.Burst = 1
+	}
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is a per-tenant token-bucket rate limiter. Buckets are
+// created on first sight of a tenant and swept once the table grows
+// past maxBuckets (full buckets carry no state worth keeping — a
+// refill on next sight reconstructs them exactly).
+type Limiter struct {
+	cfg RateLimit
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+const maxBuckets = 16384
+
+// NewLimiter returns a limiter with the given configuration; a zero
+// RPS means Allow always succeeds.
+func NewLimiter(cfg RateLimit) *Limiter {
+	cfg.fill()
+	return &Limiter{cfg: cfg, now: time.Now, buckets: map[string]*bucket{}}
+}
+
+// Allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false plus the wait until a token accrues — the
+// Retry-After hint.
+func (l *Limiter) Allow(tenant string) (bool, time.Duration) {
+	if l.cfg.RPS <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.cfg.RPS
+	b.last = now
+	if b.tokens > l.cfg.Burst {
+		b.tokens = l.cfg.Burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.cfg.RPS * float64(time.Second))
+	return false, wait
+}
+
+// sweepLocked drops buckets that have fully refilled; if none have
+// (every tenant is actively limited), the table is allowed to grow —
+// correctness over the size cap.
+func (l *Limiter) sweepLocked(now time.Time) {
+	for t, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.cfg.RPS >= l.cfg.Burst {
+			delete(l.buckets, t)
+		}
+	}
+}

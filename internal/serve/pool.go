@@ -1,0 +1,53 @@
+package serve
+
+import "gdsx"
+
+// MemPool recycles simulated-memory arenas across requests. Allocating
+// a fresh 64 MiB arena per request is the single largest per-request
+// allocation the service would make; pooling replaces it with a
+// watermark-bounded Reset (see mem.Memory.Reset). The pool is a
+// bounded free list: Get falls back to a fresh arena when empty, Put
+// drops the arena when full, so the pool never blocks a request and
+// its footprint is capped at size × capacity.
+type MemPool struct {
+	free  chan *gdsx.Memory
+	bytes int64
+}
+
+// NewMemPool returns a pool holding at most capacity arenas of the
+// given byte size (0 selects the 64 MiB default).
+func NewMemPool(capacity int, bytes int64) *MemPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if bytes <= 0 {
+		bytes = 64 << 20
+	}
+	return &MemPool{free: make(chan *gdsx.Memory, capacity), bytes: bytes}
+}
+
+// Get returns a reset arena, allocating a fresh one when the pool is
+// empty.
+func (p *MemPool) Get() *gdsx.Memory {
+	select {
+	case m := <-p.free:
+		return m
+	default:
+		return gdsx.NewMemory(p.bytes)
+	}
+}
+
+// Put resets the arena and returns it to the pool; a full pool drops
+// it for the garbage collector. Reset here (not in Get) keeps the
+// request's data from lingering in the pool — tenant isolation, not
+// just hygiene.
+func (p *MemPool) Put(m *gdsx.Memory) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	select {
+	case p.free <- m:
+	default:
+	}
+}

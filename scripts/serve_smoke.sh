@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Serve smoke: boots a real gdsxd process and checks the service
+# contract end to end — a well-formed POST runs to completion, a burst
+# beyond capacity sheds with structured 429s, and SIGTERM drains
+# in-flight work and exits 0. CI runs this after the unit suites; it
+# needs only curl and a free port.
+set -euo pipefail
+
+ADDR=127.0.0.1:${GDSXD_PORT:-8745}
+BASE=http://$ADDR
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"; kill "$GDSXD_PID" 2>/dev/null || true' EXIT
+
+# Small capacity so the burst below actually overflows the queue.
+go build -o "$TMP/gdsxd" ./cmd/gdsxd
+"$TMP/gdsxd" -addr "$ADDR" -max-concurrent 2 -queue 2 -rps -1 &
+GDSXD_PID=$!
+
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+curl -fsS "$BASE/readyz" >/dev/null
+echo "serve_smoke: gdsxd up on $ADDR (pid $GDSXD_PID)"
+
+# MiniC kernels. quick finishes in tens of milliseconds. The slow ones
+# take seconds on their FIRST request — the transform pipeline's
+# dependence-profiling run executes the program — which is exactly what
+# the burst and drain steps need: a never-before-seen slow source holds
+# its request in flight for the whole single-flight build. The two slow
+# kernels differ only in trip count so they occupy distinct cache keys.
+QUICK_SRC='int main() { int i; long s = 0; long *a = (long*)malloc(256 * 8); parallel for (i = 0; i < 256; i++) { a[i] = (long)i * i; } for (i = 0; i < 256; i++) { s = s + a[i]; } print_long(s); return 0; }'
+SLOW_SRC='int main() { int i; long *a = (long*)malloc(8 * 8); parallel for (i = 0; i < 8; i++) { long acc = 0; long j; for (j = 0; j < 150000; j++) { acc = acc + j; } a[i] = acc; } print_long(a[0]); return 0; }'
+SLOW_SRC2='int main() { int i; long *a = (long*)malloc(8 * 8); parallel for (i = 0; i < 8; i++) { long acc = 0; long j; for (j = 0; j < 155000; j++) { acc = acc + j; } a[i] = acc; } print_long(a[0]); return 0; }'
+
+post() { # post <src-var> <out-file> [extra json fields]
+    curl -s -o "$2" -w '%{http_code}' -X POST "$BASE/run" \
+        -H 'Content-Type: application/json' \
+        -d "{\"source\": $(printf '%s' "$1" | sed 's/"/\\"/g; s/^/"/; s/$/"/')${3:+, $3}}"
+}
+
+# 1. A well-formed request returns 200 with output.
+code=$(post "$QUICK_SRC" "$TMP/ok.json")
+if [ "$code" != 200 ]; then
+    echo "serve_smoke: FAIL: want 200, got $code: $(cat "$TMP/ok.json")" >&2
+    exit 1
+fi
+grep -q '"output"' "$TMP/ok.json"
+grep -q 5559680 "$TMP/ok.json" # sum of i*i for i in [0,256) = 255*256*511/6
+echo "serve_smoke: single request OK"
+
+# 2. A burst beyond capacity (2 running + 2 queued) sheds the excess
+# with structured 429 queue_full responses; nothing crashes. Waits on
+# the curl pids explicitly — a bare wait would block on gdsxd forever.
+BURST_PIDS=()
+for i in $(seq 1 16); do
+    post "$SLOW_SRC" "$TMP/burst.$i" >"$TMP/burst.$i.code" &
+    BURST_PIDS+=("$!")
+done
+wait "${BURST_PIDS[@]}"
+shed=0 ok=0
+for i in $(seq 1 16); do
+    case $(cat "$TMP/burst.$i.code") in
+    200) ok=$((ok + 1)) ;;
+    429)
+        shed=$((shed + 1))
+        grep -q queue_full "$TMP/burst.$i"
+        ;;
+    *)
+        echo "serve_smoke: FAIL: burst request $i: status $(cat "$TMP/burst.$i.code"): $(cat "$TMP/burst.$i")" >&2
+        exit 1
+        ;;
+    esac
+done
+if [ "$ok" -eq 0 ] || [ "$shed" -eq 0 ]; then
+    echo "serve_smoke: FAIL: burst of 16 gave ok=$ok shed=$shed; want both nonzero" >&2
+    exit 1
+fi
+echo "serve_smoke: burst of 16 -> $ok served, $shed shed as 429 queue_full"
+
+# 3. SIGTERM drains: an in-flight request completes, new work is
+# refused, and the process exits 0.
+post "$SLOW_SRC2" "$TMP/drain.json" >"$TMP/drain.code" &
+CURL_PID=$!
+sleep 0.5
+kill -TERM "$GDSXD_PID"
+wait "$CURL_PID"
+if [ "$(cat "$TMP/drain.code")" != 200 ]; then
+    echo "serve_smoke: FAIL: in-flight request during drain: status $(cat "$TMP/drain.code"): $(cat "$TMP/drain.json")" >&2
+    exit 1
+fi
+if wait "$GDSXD_PID"; then
+    echo "serve_smoke: SIGTERM drain completed, exit 0"
+else
+    echo "serve_smoke: FAIL: gdsxd exited nonzero after SIGTERM" >&2
+    exit 1
+fi
+trap 'rm -rf "$TMP"' EXIT
+echo "serve_smoke: PASS"
