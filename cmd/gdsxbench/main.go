@@ -33,9 +33,12 @@
 // whole-program fallback on the violating adversarial inputs, and
 // measures the region-snapshot overhead on violation-free runs. The
 // -obs mode measures the observability layer's wall-clock overhead on
-// expanded parallel runs; -quick is the CI smoke variant (few
+// expanded parallel runs plus a serve tier (request batches against a
+// DisableObs gdsxd server vs. the default registry + head-sampled
+// tracing configuration); -quick is the CI smoke variant (few
 // workloads, no hot-profiler configuration) that exits nonzero when
-// the geomean overhead exceeds 15%. The -sched mode replays the traced
+// either the geomean runtime overhead or the serve-tier leave-on
+// overhead exceeds 15%. The -sched mode replays the traced
 // workloads through the schedule simulator under both DOALL dispatch
 // policies (static chunking vs work stealing) and writes the scaling
 // curves; the numbers are deterministic operation counts, so the JSON
@@ -52,8 +55,9 @@
 // burst and chaos scenarios and records p50/p99 latency, throughput,
 // shed rate and cache hit rate; -serve-load -quick is the CI smoke
 // variant, which runs the steady and burst scenarios at half volume
-// and exits nonzero when the geomean p99 regresses more than 10%
-// against the matching rows of the checked-in BENCH_serve.json.
+// and exits nonzero when the geomean p50 regresses more than 10% (or
+// p99 more than 50%) against the matching rows of the checked-in
+// BENCH_serve.json.
 //
 // With -http ADDR, any mode also serves expvar (including the live
 // gdsx metrics registry under the "gdsx" variable) and net/http/pprof
@@ -114,7 +118,7 @@ func main() {
 			" With -adapt: skip the wall-clock acceptance checks and gate"+
 			" the sampling check cut against the checked-in BENCH_adapt.json."+
 			" With -serve-load: run the steady and burst scenarios at half"+
-			" volume and gate p99 against the checked-in BENCH_serve.json")
+			" volume and gate p50/p99 against the checked-in BENCH_serve.json")
 	httpAddr := flag.String("http", "",
 		"serve expvar (live gdsx metrics) and net/http/pprof on this address"+
 			" during the run, e.g. :8080")
@@ -202,6 +206,11 @@ func main() {
 		if *quick && rep.GeomeanOverhead > 0.15 {
 			fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: geomean observability overhead"+
 				" %.1f%% exceeds the 15%% smoke budget\n", rep.GeomeanOverhead*100)
+			os.Exit(1)
+		}
+		if *quick && rep.ServeOverhead > 0.15 {
+			fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: serve-tier leave-on observability"+
+				" overhead %.1f%% exceeds the 15%% smoke budget\n", rep.ServeOverhead*100)
 			os.Exit(1)
 		}
 		return
@@ -494,12 +503,16 @@ func gateOptRegression(rep *bench.OptReport, baseFile string) {
 
 // gateServeRegression compares a quick -serve-load measurement against
 // the matching scenarios of the checked-in BENCH_serve.json (or the -o
-// override) and exits nonzero when the geomean p99 latency grew more
-// than 10%. Service latency on shared CI machines is the noisiest
-// number this suite gates, hence the wider allowance; what it catches
-// is a structural regression — a lost cache hit path, admission doing
-// work before shedding, the drain barrier serializing requests — whose
-// signature is p99 multiplying, not drifting.
+// override) and exits nonzero when the geomean p50 latency grew more
+// than 10% or the geomean p99 more than 50%. What this catches is a
+// structural regression — a lost cache hit path, admission doing work
+// before shedding, the drain barrier serializing requests — whose
+// signature is latency multiplying, not drifting: every one of those
+// moves the median, which run-to-run is stable within a few percent.
+// The p99 of a 48-request closed-loop scenario is its max sample, an
+// extreme-value statistic whose noise on shared CI machines exceeds
+// any threshold tight enough to be useful, so it gets only the
+// multiplied-latency backstop.
 func gateServeRegression(rep *bench.ServeLoadReport, baseFile string) {
 	if baseFile == "" {
 		baseFile = "BENCH_serve.json"
@@ -518,18 +531,25 @@ func gateServeRegression(rep *bench.ServeLoadReport, baseFile string) {
 	for _, row := range rep.Rows {
 		names = append(names, row.Scenario)
 	}
-	want, ok := base.GeomeanOver(names)
+	want99, ok := base.GeomeanOver(names)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: %s lacks rows for the smoke subset %v\n",
 			baseFile, names)
 		os.Exit(1)
 	}
-	got, _ := rep.GeomeanOver(names)
-	fmt.Fprintf(os.Stderr, "gdsxbench: quick geomean p99 %.1fms vs checked-in %.1fms (same subset)\n",
-		got, want)
-	if got > want*1.10 {
-		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: serve p99 latency regressed more"+
+	want50, _ := base.GeomeanP50Over(names)
+	got99, _ := rep.GeomeanOver(names)
+	got50, _ := rep.GeomeanP50Over(names)
+	fmt.Fprintf(os.Stderr, "gdsxbench: quick geomean p50 %.1fms vs checked-in %.1fms,"+
+		" p99 %.1fms vs %.1fms (same subset)\n", got50, want50, got99, want99)
+	if got50 > want50*1.10 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: serve p50 latency regressed more"+
 			" than 10%% against %s\n", baseFile)
+		os.Exit(1)
+	}
+	if got99 > want99*1.50 {
+		fmt.Fprintf(os.Stderr, "gdsxbench: FAIL: serve p99 latency regressed more"+
+			" than 50%% against %s\n", baseFile)
 		os.Exit(1)
 	}
 }

@@ -5,10 +5,18 @@
 //
 // Endpoints:
 //
-//	POST /run      {"source": "...", "input": "...", "options": {...}}
-//	GET  /healthz  process liveness (200 while the process runs)
-//	GET  /readyz   traffic readiness (503 once draining)
-//	GET  /stats    service counters as JSON
+//	POST /run               {"source": "...", "input": "...", "options": {...}}
+//	GET  /healthz           process liveness (200 while the process runs)
+//	GET  /readyz            traffic readiness (503 once draining)
+//	GET  /stats             service counters as JSON
+//	GET  /metrics           Prometheus text exposition of the service registry
+//	GET  /debug/traces      retained request traces (slowest + recent errors) as JSON index
+//	GET  /debug/traces/{id} one retained trace as Chrome trace-event JSON
+//
+// Every /run response carries an X-Request-ID header (the inbound one
+// when the client sent a well-formed X-Request-ID, generated
+// otherwise); sending one forces the request to be traced, so its
+// trace is retrievable from /debug/traces/{id} afterwards.
 //
 // SIGTERM or SIGINT starts a graceful drain: in-flight requests
 // finish, new ones get 503 draining, and the process exits 0 once the
@@ -18,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -41,14 +50,32 @@ func main() {
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		chaosOn  = flag.Bool("chaos", false, "mount the fault-injecting chaos middleware (testing only)")
 		chaosPan = flag.Int("chaos-panic-every", 10, "with -chaos: panic on one in N requests")
+		logDest  = flag.String("log", "", "structured request log destination: a file path, or - for stdout (empty = off)")
+		traceN   = flag.Int("trace-sample", 0, "trace 1 in N requests without an X-Request-ID (0 = 8, negative = only explicit IDs)")
+		retainN  = flag.Int("trace-retain", 0, "retained traces per pool on /debug/traces (0 = 32)")
 	)
 	flag.Parse()
+
+	var reqLog io.Writer
+	if *logDest == "-" {
+		reqLog = os.Stdout
+	} else if *logDest != "" {
+		f, err := os.OpenFile(*logDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("gdsxd: opening -log %s: %v", *logDest, err)
+		}
+		defer f.Close()
+		reqLog = f
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConc,
 		QueueDepth:    *queue,
 		CacheEntries:  *cacheN,
 		Rate:          serve.RateLimit{RPS: *rps, Burst: *burst},
+		TraceSample:   *traceN,
+		TraceRetain:   *retainN,
+		RequestLog:    reqLog,
 	})
 	var mws []func(http.Handler) http.Handler
 	if *chaosOn {

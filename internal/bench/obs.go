@@ -62,6 +62,14 @@ type ObsReport struct {
 	GeomeanSpansOverhead float64 `json:"geomean_spans_overhead,omitempty"`
 	// GeomeanHotOverhead covers the hot-profiler tier (0 when skipped).
 	GeomeanHotOverhead float64 `json:"geomean_hot_overhead,omitempty"`
+	// ServeBaseNS/ServeObsNS are the median wall-clock times of one
+	// request batch against a DisableObs server vs. the default
+	// configuration (registry + head-sampled tracing + trace
+	// retention), and ServeOverhead their ratio minus one — the
+	// service-layer leave-on observability tax the CI gate bounds.
+	ServeBaseNS   int64   `json:"serve_base_ns,omitempty"`
+	ServeObsNS    int64   `json:"serve_obs_ns,omitempty"`
+	ServeOverhead float64 `json:"serve_overhead,omitempty"`
 }
 
 const (
@@ -192,6 +200,9 @@ func (h *Harness) ObsOverhead(quick bool) (*ObsReport, error) {
 		rep.GeomeanSpansOverhead = math.Exp(logSumSpans/n) - 1
 		rep.GeomeanHotOverhead = math.Exp(logSumHot/n) - 1
 	}
+	if err := serveObsTier(rep); err != nil {
+		return nil, fmt.Errorf("serve tier: %w", err)
+	}
 	return rep, nil
 }
 
@@ -233,5 +244,11 @@ func (r *ObsReport) Render() string {
 		fmt.Fprintf(&b, " %8.1f%% %8.1f%%", r.GeomeanSpansOverhead*100, r.GeomeanHotOverhead*100)
 	}
 	b.WriteString("\n")
+	if r.ServeObsNS > 0 {
+		fmt.Fprintf(&b, "%-16s %12v %12v %8.1f%%\n", "serve",
+			time.Duration(r.ServeBaseNS).Round(time.Microsecond),
+			time.Duration(r.ServeObsNS).Round(time.Microsecond),
+			r.ServeOverhead*100)
+	}
 	return b.String()
 }

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label convention: registry instruments are keyed by flat strings, so
+// labelled series encode their labels into the interned name as
+// "base|key=value|key2=value2". Producers build such names with
+// Labeled once per series and update the instrument lock-free
+// afterwards; the Prometheus renderer splits the name back into a
+// metric family plus a label set, and everything else (Render, the
+// text dump, JSON snapshots) treats the name as opaque.
+
+// Labeled returns the registry name for base carrying the given
+// key/value label pairs (kv must alternate key, value).
+func Labeled(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte('|')
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	return b.String()
+}
+
+// ParseName splits a registry name into its base and label pairs (nil
+// for an unlabelled name).
+func ParseName(name string) (base string, labels [][2]string) {
+	parts := strings.Split(name, "|")
+	base = parts[0]
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			continue // malformed segment: ignore rather than emit bad exposition
+		}
+		labels = append(labels, [2]string{k, v})
+	}
+	return base, labels
+}
+
+// promName sanitizes a metric base name into the Prometheus name
+// charset [a-zA-Z0-9_:], prefixed with the namespace.
+func promName(namespace, base string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promLabels renders a label set as {k="v",...}; extra pairs (the
+// histogram "le") are appended after the parsed ones. Empty set
+// renders as "".
+func promLabels(labels [][2]string, extra ...[2]string) string {
+	all := append(append([][2]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promName("", kv[0]), promEscape(kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily is one metric family being assembled: its TYPE line plus
+// every series' lines, grouped so the exposition parser sees each
+// family's header exactly once. Series are keyed by their rendered
+// label set for a stable output order; a series' own lines (a
+// histogram's ascending-le buckets) keep insertion order.
+type promFamily struct {
+	typ    string
+	series map[string][]string
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): counters gain a _total suffix,
+// gauges are emitted as <name> and <name>_max, and the power-of-two
+// histograms render as the standard cumulative <name>_bucket /
+// <name>_sum / <name>_count triple whose le bounds are the bucket
+// upper edges. Series with the same base (differing only in labels)
+// share one family. Safe on a nil registry (renders nothing).
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	s := r.Snapshot()
+	fams := map[string]*promFamily{}
+	add := func(name, typ, seriesKey string, lines ...string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{typ: typ, series: map[string][]string{}}
+			fams[name] = f
+		}
+		f.series[seriesKey] = append(f.series[seriesKey], lines...)
+	}
+	for name, v := range s.Counters {
+		base, labels := ParseName(name)
+		fam := promName(namespace, base) + "_total"
+		ls := promLabels(labels)
+		add(fam, "counter", ls, fmt.Sprintf("%s%s %d", fam, ls, v))
+	}
+	for name, g := range s.Gauges {
+		base, labels := ParseName(name)
+		fam := promName(namespace, base)
+		ls := promLabels(labels)
+		add(fam, "gauge", ls, fmt.Sprintf("%s%s %d", fam, ls, g.Value))
+		maxFam := fam + "_max"
+		add(maxFam, "gauge", ls, fmt.Sprintf("%s%s %d", maxFam, ls, g.Max))
+	}
+	for name, h := range s.Histograms {
+		base, labels := ParseName(name)
+		fam := promName(namespace, base)
+		ls := promLabels(labels)
+		var cum int64
+		var lines []string
+		for _, b := range h.Buckets {
+			cum += b.Count
+			lines = append(lines, fmt.Sprintf(`%s_bucket%s %d`,
+				fam, promLabels(labels, [2]string{"le", fmt.Sprintf("%d", b.Le)}), cum))
+		}
+		lines = append(lines,
+			fmt.Sprintf(`%s_bucket%s %d`, fam, promLabels(labels, [2]string{"le", "+Inf"}), h.Count),
+			fmt.Sprintf("%s_sum%s %d", fam, ls, h.Sum),
+			fmt.Sprintf("%s_count%s %d", fam, ls, h.Count))
+		add(fam, "histogram", ls, lines...)
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, l := range f.series[k] {
+				if _, err := fmt.Fprintln(w, l); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -67,6 +67,13 @@ var eventSchemas = map[string]eventSchema{
 	// The per-region scheduler summary is deterministic except for its
 	// steal count.
 	"sched": {v1: "steals", v2: "nthreads", v2Canon: true},
+	// Service-level request spans (emitted by internal/serve into a
+	// request-scoped tracer): pure wall-clock phases of the HTTP request
+	// path, never part of a runtime-parity canonical stream.
+	"queue-wait":   {noCanon: true},
+	"cache-lookup": {noCanon: true},
+	"build":        {noCanon: true},
+	"execute":      {noCanon: true},
 }
 
 func schemaOf(name string) eventSchema {
@@ -81,15 +88,29 @@ func schemaOf(name string) eventSchema {
 // iteration-span budget, at roughly 20 MiB of buffer.
 const DefaultTraceLimit = 1 << 18
 
+// ServiceTid is the simulated-thread id service-level producers emit
+// request spans on. It sits far above any worker tid a runtime config
+// can reach, so the request-phase track and the sim-thread tracks
+// never collide in an exported trace.
+const ServiceTid = 1000
+
 // Tracer collects events from all threads of a run. Emission is a
 // mutex-guarded append with an early-out once the limit is reached
 // (dropped events are counted, never silently lost).
+//
+// Tag, when set (before the tracer is shared across goroutines),
+// stamps every exported Chrome event with a request_id arg — the
+// request-scoped tracers gdsxd opens per traced request set it to the
+// request ID so runtime region/guard/rollback events are attributable
+// to the request that produced them.
 type Tracer struct {
 	mu      sync.Mutex
 	events  []Event
 	limit   int
 	dropped int64
 	start   time.Time
+
+	Tag string
 }
 
 // NewTracer creates a tracer holding at most limit events
@@ -185,20 +206,27 @@ type chromeTrace struct {
 func (t *Tracer) WriteChrome(w io.Writer) error {
 	events := t.Events()
 	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
-	maxTid := 0
+	seen := map[int]bool{}
+	tids := []int{}
 	for _, ev := range events {
-		if ev.Tid > maxTid {
-			maxTid = ev.Tid
+		if !seen[ev.Tid] {
+			seen[ev.Tid] = true
+			tids = append(tids, ev.Tid)
 		}
 	}
+	sort.Ints(tids)
 	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: 1, Cat: "__metadata",
 		Args: map[string]any{"name": "gdsx simulated machine"},
 	})
-	for tid := 0; tid <= maxTid; tid++ {
+	for _, tid := range tids {
+		name := fmt.Sprintf("sim-thread-%d", tid)
+		if tid == ServiceTid {
+			name = "gdsxd-request"
+		}
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid, Cat: "__metadata",
-			Args: map[string]any{"name": fmt.Sprintf("sim-thread-%d", tid)},
+			Args: map[string]any{"name": name},
 		})
 	}
 	for _, ev := range events {
@@ -233,6 +261,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 		if sch.v2 != "" {
 			args[sch.v2] = ev.V2
+		}
+		if t.Tag != "" {
+			args["request_id"] = t.Tag
 		}
 		if len(args) > 0 {
 			ce.Args = args

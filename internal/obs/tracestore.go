@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RetainedTrace is one request trace offered to the store, plus the
+// request-level facts the trace index renders.
+type RetainedTrace struct {
+	ID     string
+	Tenant string
+	Start  time.Time
+	Dur    time.Duration
+	Status int
+	Code   string // structured error code, "" on success
+	Error  bool   // retain unconditionally in the error ring
+	Tracer *Tracer
+}
+
+// TraceSummary is the JSON shape of one index entry on /debug/traces.
+type TraceSummary struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant,omitempty"`
+	Start  string  `json:"start"`
+	DurMs  float64 `json:"dur_ms"`
+	Status int     `json:"status"`
+	Code   string  `json:"code,omitempty"`
+	Error  bool    `json:"error"`
+	Events int     `json:"events"`
+}
+
+// TraceStore is the tail-retention policy for request traces: two
+// bounded pools, one keeping the N slowest successful requests (a new
+// trace evicts the current fastest once full, only if it is slower)
+// and one FIFO ring keeping the last N errored requests. Lookup by ID
+// spans both pools. All methods are safe on a nil store.
+type TraceStore struct {
+	mu    sync.Mutex
+	limit int
+	slow  []*RetainedTrace // sorted ascending by Dur; slow[0] is the eviction candidate
+	errs  []*RetainedTrace // FIFO, newest last
+	byID  map[string]*RetainedTrace
+}
+
+// DefaultTraceRetain is the per-pool capacity of NewTraceStore(0).
+const DefaultTraceRetain = 32
+
+// NewTraceStore creates a store retaining up to limit slow traces plus
+// up to limit error traces (limit <= 0 selects DefaultTraceRetain).
+func NewTraceStore(limit int) *TraceStore {
+	if limit <= 0 {
+		limit = DefaultTraceRetain
+	}
+	return &TraceStore{limit: limit, byID: map[string]*RetainedTrace{}}
+}
+
+// Offer submits a finished request trace; the store decides whether to
+// keep it. Error traces displace the oldest error; successful traces
+// must beat the fastest retained slow trace once the pool fills.
+// No-op on a nil store or a nil trace/tracer.
+func (ts *TraceStore) Offer(rt *RetainedTrace) {
+	if ts == nil || rt == nil || rt.Tracer == nil || rt.ID == "" {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byID[rt.ID]; ok {
+		// Duplicate ID (client reused an X-Request-ID): keep the first
+		// retained trace so /debug/traces/{id} stays stable.
+		return
+	}
+	if rt.Error {
+		if len(ts.errs) >= ts.limit {
+			old := ts.errs[0]
+			ts.errs = ts.errs[1:]
+			delete(ts.byID, old.ID)
+		}
+		ts.errs = append(ts.errs, rt)
+		ts.byID[rt.ID] = rt
+		return
+	}
+	if len(ts.slow) >= ts.limit {
+		if rt.Dur <= ts.slow[0].Dur {
+			return // faster than everything retained: not interesting
+		}
+		old := ts.slow[0]
+		ts.slow = ts.slow[1:]
+		delete(ts.byID, old.ID)
+	}
+	i := sort.Search(len(ts.slow), func(i int) bool { return ts.slow[i].Dur >= rt.Dur })
+	ts.slow = append(ts.slow, nil)
+	copy(ts.slow[i+1:], ts.slow[i:])
+	ts.slow[i] = rt
+	ts.byID[rt.ID] = rt
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (ts *TraceStore) Get(id string) *RetainedTrace {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.byID[id]
+}
+
+// List returns summaries of every retained trace, slowest-successful
+// first, then errors newest-first.
+func (ts *TraceStore) List() []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceSummary, 0, len(ts.slow)+len(ts.errs))
+	for i := len(ts.slow) - 1; i >= 0; i-- {
+		out = append(out, summarize(ts.slow[i]))
+	}
+	for i := len(ts.errs) - 1; i >= 0; i-- {
+		out = append(out, summarize(ts.errs[i]))
+	}
+	return out
+}
+
+func summarize(rt *RetainedTrace) TraceSummary {
+	return TraceSummary{
+		ID:     rt.ID,
+		Tenant: rt.Tenant,
+		Start:  rt.Start.UTC().Format(time.RFC3339Nano),
+		DurMs:  float64(rt.Dur) / float64(time.Millisecond),
+		Status: rt.Status,
+		Code:   rt.Code,
+		Error:  rt.Error,
+		Events: rt.Tracer.Len(),
+	}
+}

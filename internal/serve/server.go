@@ -16,6 +16,7 @@ import (
 
 	"gdsx"
 	"gdsx/internal/interp"
+	"gdsx/internal/obs"
 )
 
 // Config configures a Server. The zero value is filled with production
@@ -39,6 +40,28 @@ type Config struct {
 	// Rate is the per-tenant token bucket (default 50 req/s, burst
 	// 100; RPS < 0 disables rate limiting).
 	Rate RateLimit
+	// TraceSample head-samples request tracing: 1 in TraceSample
+	// requests without an inbound X-Request-ID gets a request-scoped
+	// trace (default 8; negative disables sampling so only requests
+	// that arrive with an X-Request-ID are traced). Traced requests
+	// run with the runtime observer attached, which costs them scalar
+	// register promotion — sampling is what keeps the leave-on
+	// overhead inside the obs budget.
+	TraceSample int
+	// TraceRetain bounds each retention pool of /debug/traces: the N
+	// slowest successful requests plus the N most recent errors
+	// (default obs.DefaultTraceRetain).
+	TraceRetain int
+	// RequestLog, when set, receives one JSON line per finished
+	// request (id, tenant, status, error code, shed level, cache hit,
+	// queue/exec/total durations).
+	RequestLog io.Writer
+	// DisableObs turns the whole observability layer off — no
+	// registry, no request IDs, no tracing, no logging — leaving
+	// /stats counters zeroed and /metrics and /debug/traces returning
+	// 404. This is the baseline configuration the serve tier of
+	// `gdsxbench -obs` measures leave-on overhead against.
+	DisableObs bool
 }
 
 func (c *Config) fill() {
@@ -67,6 +90,9 @@ func (c *Config) fill() {
 	if c.Rate.RPS == 0 {
 		c.Rate = RateLimit{RPS: 50, Burst: 100}
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 8
+	}
 }
 
 // Server is the gdsxd request processor: admission control, the
@@ -86,27 +112,53 @@ type Server struct {
 	inflight atomic.Int64  // handlers inside the drain barrier
 	draining atomic.Bool
 
-	reqs        atomic.Int64
-	okCount     atomic.Int64
-	panics      atomic.Int64
-	runsByLevel [shedMax + 1]atomic.Int64
-	errMu       sync.Mutex
-	errByCode   map[Code]int64
+	// The observability surface: all service counters, gauges and
+	// histograms live in reg (nil when Config.DisableObs — every
+	// instrument call then no-ops through obs's nil-receiver
+	// discipline); traces is the tail-retention store behind
+	// /debug/traces; logw the structured request log; seq the
+	// head-sampling sequence.
+	reg    *obs.Registry
+	traces *obs.TraceStore
+	logMu  sync.Mutex
+	logw   io.Writer
+	seq    atomic.Int64
 }
 
 // New returns a configured Server.
 func New(cfg Config) *Server {
 	cfg.fill()
-	return &Server{
-		cfg:       cfg,
-		cache:     NewCache(cfg.CacheEntries),
-		pool:      NewMemPool(cfg.PoolArenas, cfg.ArenaBytes),
-		limiter:   NewLimiter(cfg.Rate),
-		ladder:    NewLadder(),
-		sem:       make(chan struct{}, cfg.MaxConcurrent),
-		slots:     cfg.MaxConcurrent + cfg.QueueDepth,
-		errByCode: map[Code]int64{},
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries),
+		pool:    NewMemPool(cfg.PoolArenas, cfg.ArenaBytes),
+		limiter: NewLimiter(cfg.Rate),
+		ladder:  NewLadder(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		slots:   cfg.MaxConcurrent + cfg.QueueDepth,
 	}
+	if !cfg.DisableObs {
+		s.reg = obs.NewRegistry()
+		s.traces = obs.NewTraceStore(cfg.TraceRetain)
+		s.logw = cfg.RequestLog
+		// Pre-intern the always-rendered instruments so /metrics and
+		// /stats expose stable families from the first scrape, not only
+		// after the first event of each kind.
+		s.reg.Counter("serve.requests")
+		s.reg.Counter("serve.ok")
+		s.reg.Counter("serve.panics")
+		for lvl := 0; lvl <= shedMax; lvl++ {
+			s.reg.Counter(runLevelCounter(lvl))
+		}
+		s.reg.Gauge("serve.shed_level")
+		s.reg.Gauge("serve.queued")
+		s.reg.Gauge("serve.cache_entries")
+		s.reg.Histogram("serve.latency_us")
+		s.reg.Histogram("serve.queue_depth")
+		s.reg.Histogram("serve.exec_us")
+		s.reg.Histogram("serve.build_us")
+	}
+	return s
 }
 
 // Handler returns the service's HTTP handler. Optional middleware (the
@@ -118,6 +170,9 @@ func (s *Server) Handler(inner ...func(http.Handler) http.Handler) http.Handler 
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraceIndex)
+	mux.HandleFunc("/debug/traces/", s.handleTraceGet)
 	var h http.Handler = mux
 	for i := len(inner) - 1; i >= 0; i-- {
 		h = inner[i](h)
@@ -132,8 +187,8 @@ func (s *Server) recoverMW(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.panics.Add(1)
-				s.writeError(w, errf(CodePanic, "request handler panicked: %v", rec))
+				s.reg.Counter("serve.panics").Inc()
+				s.writeError(w, nil, errf(CodePanic, "request handler panicked: %v", rec))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -192,13 +247,17 @@ type Stats struct {
 	Draining    bool             `json:"draining"`
 }
 
-// Snapshot returns the current service statistics.
+// Snapshot returns the current service statistics, derived from one
+// point-in-time registry snapshot (the same source /metrics renders)
+// plus the live admission/cache/ladder state. On a DisableObs server
+// the registry-backed counters read zero; the live fields still work.
 func (s *Server) Snapshot() Stats {
+	snap := s.reg.Snapshot()
 	hits, misses := s.cache.Stats()
 	st := Stats{
-		Requests:    s.reqs.Load(),
-		OK:          s.okCount.Load(),
-		Panics:      s.panics.Load(),
+		Requests:    snap.Counters["serve.requests"],
+		OK:          snap.Counters["serve.ok"],
+		Panics:      snap.Counters["serve.panics"],
 		ShedLevel:   s.ladder.Level(),
 		Pressure:    s.ladder.Pressure(),
 		RunsByLevel: make([]int64, shedMax+1),
@@ -208,17 +267,19 @@ func (s *Server) Snapshot() Stats {
 		Queued:      s.queued.Load(),
 		Draining:    s.draining.Load(),
 	}
-	for i := range s.runsByLevel {
-		st.RunsByLevel[i] = s.runsByLevel[i].Load()
+	for lvl := 0; lvl <= shedMax; lvl++ {
+		st.RunsByLevel[lvl] = snap.Counters[runLevelCounter(lvl)]
 	}
-	s.errMu.Lock()
-	if len(s.errByCode) > 0 {
-		st.Errors = make(map[string]int64, len(s.errByCode))
-		for c, n := range s.errByCode {
-			st.Errors[string(c)] = n
+	for name, n := range snap.Counters {
+		base, labels := obs.ParseName(name)
+		if base != "serve.errors" || n == 0 || len(labels) != 1 || labels[0][0] != "code" {
+			continue
 		}
+		if st.Errors == nil {
+			st.Errors = map[string]int64{}
+		}
+		st.Errors[labels[0][1]] = n
 	}
-	s.errMu.Unlock()
 	return st
 }
 
@@ -228,9 +289,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.reqs.Add(1)
+	rq := s.beginRequest(r)
+	defer s.finishRequest(rq)
+	s.reg.Counter("serve.requests").Inc()
+	if rq.id != "" {
+		w.Header().Set("X-Request-ID", rq.id)
+	}
 	if r.Method != http.MethodPost {
-		s.writeError(w, errf(CodeBadReq, "POST only"))
+		s.writeError(w, rq, errf(CodeBadReq, "POST only"))
 		return
 	}
 	// The drain barrier must be entered before the draining check: Drain
@@ -241,27 +307,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Add(-1)
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, errf(CodeDraining, "server is shutting down"))
+		s.writeError(w, rq, errf(CodeDraining, "server is shutting down"))
 		return
 	}
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes+1))
 	if err != nil {
-		s.writeError(w, errf(CodeBadReq, "reading body: %v", err))
+		s.writeError(w, rq, errf(CodeBadReq, "reading body: %v", err))
 		return
 	}
 	req, perr := ParseRequest(body, s.cfg.Limits)
 	if perr != nil {
-		s.writeError(w, perr)
+		s.writeError(w, rq, perr)
 		return
 	}
 	tenant := req.Tenant
 	if h := r.Header.Get("X-Tenant"); h != "" {
 		tenant = h
 	}
+	rq.tenant = tenant
 	if ok, wait := s.limiter.Allow(tenant); !ok {
 		w.Header().Set("Retry-After", retryAfter(wait))
-		s.writeError(w, errf(CodeRateLimit, "tenant %q over rate limit", tenant))
+		s.writeError(w, rq, errf(CodeRateLimit, "tenant %q over rate limit", tenant))
 		return
 	}
 
@@ -270,26 +337,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// whatever quality the sustained pressure dictates.
 	n := s.queued.Add(1)
 	defer s.queued.Add(-1)
+	s.reg.Histogram("serve.queue_depth").Observe(n)
 	if int(n) > s.slots {
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, errf(CodeQueueFull, "admission queue full (%d)", s.slots))
+		s.writeError(w, rq, errf(CodeQueueFull, "admission queue full (%d)", s.slots))
 		return
 	}
 	level := s.ladder.Observe(float64(n) / float64(s.slots))
+	rq.level = level
+	s.reg.Gauge("serve.shed_level").Set(int64(level))
+	qwait := time.Now()
+	endQueue := rq.span("queue-wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-r.Context().Done():
-		s.writeError(w, errf(CodeCancelled, "client went away while queued"))
+		endQueue("cancelled")
+		rq.queueNS = int64(time.Since(qwait))
+		s.writeError(w, rq, errf(CodeCancelled, "client went away while queued"))
 		return
 	}
 	defer func() { <-s.sem }()
+	endQueue("")
+	rq.queueNS = int64(time.Since(qwait))
 
-	resp, rerr := s.execute(r.Context(), req, level)
+	resp, rerr := s.execute(r.Context(), req, level, rq)
 	if rerr != nil {
-		s.writeError(w, rerr)
+		s.writeError(w, rq, rerr)
 		return
 	}
-	s.okCount.Add(1)
+	rq.cacheHit = resp.CacheHit
+	s.reg.Counter("serve.ok").Inc()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -330,9 +407,9 @@ func buildEntry(ctx context.Context, file, src string, guarded bool, lim Limits)
 	return e
 }
 
-func (s *Server) execute(ctx context.Context, req *Request, level int) (*Response, *Error) {
+func (s *Server) execute(ctx context.Context, req *Request, level int, rq *reqState) (*Response, *Error) {
 	start := time.Now()
-	s.runsByLevel[level].Add(1)
+	s.reg.Counter(runLevelCounter(level)).Inc()
 	src := req.Source
 	if req.Input != "" {
 		src = req.Input + "\n" + req.Source
@@ -347,9 +424,20 @@ func (s *Server) execute(ctx context.Context, req *Request, level int) (*Respons
 	defer cancel()
 
 	key := Key(src, o.Guard)
+	endLookup := rq.span("cache-lookup")
 	entry, hit := s.cache.Get(key, func() *Entry {
-		return buildEntry(rctx, "request.c", src, o.Guard, s.cfg.Limits)
+		endBuild := rq.span("build")
+		t0 := time.Now()
+		e := buildEntry(rctx, "request.c", src, o.Guard, s.cfg.Limits)
+		s.reg.Histogram("serve.build_us").Observe(time.Since(t0).Microseconds())
+		endBuild("")
+		return e
 	})
+	if hit {
+		endLookup("hit")
+	} else {
+		endLookup("miss")
+	}
 	if entry.Err != nil {
 		if entry.transient {
 			s.cache.Remove(key)
@@ -380,8 +468,24 @@ func (s *Server) execute(ctx context.Context, req *Request, level int) (*Respons
 		ropts.Threads = 1
 		ropts.ForceSequential = true
 	}
+	// Per-tenant region accounting rides the hook chain on every
+	// request (region-level only — keeps the fast access path); the
+	// request-scoped observer is attached only to traced requests,
+	// which is where the runtime's region/guard/rollback events pick
+	// up the request ID via the tracer's tag.
+	ropts.Hooks = s.tenantHooks(rq.tenant)
+	if rq.traced {
+		ropts.Obs = rq.obs
+	}
 
 	resp := &Response{CacheHit: hit, ShedLevel: level}
+	execStart := time.Now()
+	endExec := rq.span("execute")
+	defer func() {
+		endExec("")
+		rq.execNS = int64(time.Since(execStart))
+		s.reg.Histogram("serve.exec_us").Observe(time.Since(execStart).Microseconds())
+	}()
 	if o.Guard && entry.Tr != nil {
 		if level >= ShedSampleGuards {
 			ropts.Sample = &gdsx.TierSpec{PromoteAfter: 1, SampleK: 8}
@@ -407,11 +511,16 @@ func (s *Server) execute(ctx context.Context, req *Request, level int) (*Respons
 		}
 		// Profile-guided specialization, shed level 0 only: the first run
 		// of a cache entry pays for a hot-site harvest; every later run
-		// reuses the published profile for free.
+		// reuses the published profile for free. A traced request shares
+		// its observer with the harvest (one observer per run) instead of
+		// attaching a second one.
 		harvest := (*gdsx.Observer)(nil)
 		if level <= ShedNone && engine == gdsx.EngineCompiled {
 			if p := entry.Profile(); p != nil {
 				ropts.OptProfile = p
+			} else if rq.traced {
+				rq.obs.Hot = obs.NewHotSites()
+				harvest = rq.obs
 			} else {
 				harvest = gdsx.NewObserver(true)
 				ropts.Obs = harvest
@@ -486,10 +595,15 @@ func statusFor(code Code) int {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, e *Error) {
-	s.errMu.Lock()
-	s.errByCode[e.Code]++
-	s.errMu.Unlock()
+// writeError emits the structured error response, counts it per code,
+// and settles the request's outcome on rq (nil from layers without a
+// request context, e.g. the panic recoverer).
+func (s *Server) writeError(w http.ResponseWriter, rq *reqState, e *Error) {
+	s.reg.Counter(obs.Labeled("serve.errors", "code", string(e.Code))).Inc()
+	if rq != nil {
+		rq.status = statusFor(e.Code)
+		rq.code = e.Code
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(statusFor(e.Code))
 	json.NewEncoder(w).Encode(e)

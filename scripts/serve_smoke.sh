@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Serve smoke: boots a real gdsxd process and checks the service
-# contract end to end — a well-formed POST runs to completion, a burst
-# beyond capacity sheds with structured 429s, and SIGTERM drains
-# in-flight work and exits 0. CI runs this after the unit suites; it
-# needs only curl and a free port.
+# contract end to end — a well-formed POST runs to completion, the
+# observability surfaces work against real sockets (/metrics renders
+# parseable Prometheus exposition, an X-Request-ID is followable to
+# /debug/traces/{id}), a burst beyond capacity sheds with structured
+# 429s, and SIGTERM drains in-flight work and exits 0. CI runs this
+# after the unit suites; it needs only curl and a free port.
 set -euo pipefail
 
 ADDR=127.0.0.1:${GDSXD_PORT:-8745}
@@ -50,7 +52,58 @@ grep -q '"output"' "$TMP/ok.json"
 grep -q 5559680 "$TMP/ok.json" # sum of i*i for i in [0,256) = 255*256*511/6
 echo "serve_smoke: single request OK"
 
-# 2. A burst beyond capacity (2 running + 2 queued) sheds the excess
+# 2. /metrics renders valid Prometheus text exposition: every
+# non-comment line is `name{labels} value`, and the families the
+# dashboards rely on are present with the traffic counted so far.
+curl -fsS "$BASE/metrics" >"$TMP/metrics"
+bad=$(grep -vE '^(#|$)' "$TMP/metrics" \
+    | grep -cvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)
+if [ "$bad" != 0 ]; then
+    echo "serve_smoke: FAIL: $bad malformed exposition lines in /metrics:" >&2
+    grep -vE '^(#|$)' "$TMP/metrics" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' >&2 || true
+    exit 1
+fi
+for fam in gdsx_serve_requests_total gdsx_serve_ok_total gdsx_serve_latency_us_bucket \
+    gdsx_serve_shed_level gdsx_serve_cache_misses_total gdsx_serve_tenant_requests_total; do
+    if ! grep -q "^$fam" "$TMP/metrics"; then
+        echo "serve_smoke: FAIL: /metrics missing family $fam" >&2
+        exit 1
+    fi
+done
+grep -q '^gdsx_serve_requests_total [1-9]' "$TMP/metrics"
+echo "serve_smoke: /metrics exposition valid ($(grep -cvE '^(#|$)' "$TMP/metrics") series)"
+
+# 3. A request sent with an X-Request-ID is traced: the ID comes back
+# on the response header and its Chrome trace is retrievable from
+# /debug/traces/{id} with the request's execute span in it.
+REQ_ID=smoke-trace-1
+code=$(curl -s -o "$TMP/traced.json" -w '%{http_code}' -X POST "$BASE/run" \
+    -H 'Content-Type: application/json' -H "X-Request-ID: $REQ_ID" \
+    -d "{\"source\": $(printf '%s' "$QUICK_SRC" | sed 's/"/\\"/g; s/^/"/; s/$/"/')}")
+if [ "$code" != 200 ]; then
+    echo "serve_smoke: FAIL: traced request: status $code: $(cat "$TMP/traced.json")" >&2
+    exit 1
+fi
+hdr=$(curl -s -o /dev/null -D - -X POST "$BASE/run" -H 'Content-Type: application/json' \
+    -H "X-Request-ID: $REQ_ID-hdr" \
+    -d "{\"source\": $(printf '%s' "$QUICK_SRC" | sed 's/"/\\"/g; s/^/"/; s/$/"/')}" \
+    | tr -d '\r' | grep -i '^x-request-id:' | awk '{print $2}')
+if [ "$hdr" != "$REQ_ID-hdr" ]; then
+    echo "serve_smoke: FAIL: response X-Request-ID is '$hdr', want '$REQ_ID-hdr'" >&2
+    exit 1
+fi
+# Retention settles in a deferred step after the response; poll briefly.
+for _ in $(seq 1 20); do
+    curl -fsS "$BASE/debug/traces/$REQ_ID" >"$TMP/trace.json" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q '"traceEvents"' "$TMP/trace.json"
+grep -q '"execute"' "$TMP/trace.json"
+grep -q "\"$REQ_ID\"" "$TMP/trace.json"
+curl -fsS "$BASE/debug/traces" | grep -q "\"$REQ_ID\""
+echo "serve_smoke: X-Request-ID followable to /debug/traces/$REQ_ID"
+
+# 4. A burst beyond capacity (2 running + 2 queued) sheds the excess
 # with structured 429 queue_full responses; nothing crashes. Waits on
 # the curl pids explicitly — a bare wait would block on gdsxd forever.
 BURST_PIDS=()
@@ -79,7 +132,7 @@ if [ "$ok" -eq 0 ] || [ "$shed" -eq 0 ]; then
 fi
 echo "serve_smoke: burst of 16 -> $ok served, $shed shed as 429 queue_full"
 
-# 3. SIGTERM drains: an in-flight request completes, new work is
+# 5. SIGTERM drains: an in-flight request completes, new work is
 # refused, and the process exits 0.
 post "$SLOW_SRC2" "$TMP/drain.json" >"$TMP/drain.code" &
 CURL_PID=$!
